@@ -1,0 +1,390 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/join"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// The benchmarks mirror the paper's evaluation: one benchmark per table and
+// figure (driving the experiment harness) plus micro-benchmarks for the
+// individual join algorithms and index operations.
+//
+// BenchScale is deliberately small so `go test -bench=.` finishes in minutes;
+// cmd/experiments -scale 1.0 reproduces the paper's full cardinalities.
+const benchScale = 0.02
+
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *experiments.Suite
+
+	benchTreesOnce sync.Once
+	benchTreeR     *rtree.Tree
+	benchTreeS     *rtree.Tree
+	benchItemsR    []Item
+	benchItemsS    []Item
+)
+
+// suiteForBench returns a shared experiment suite; building the trees is done
+// once outside the timed sections.
+func suiteForBench() *experiments.Suite {
+	benchSuiteOnce.Do(func() {
+		benchSuite = experiments.NewSuite(experiments.Config{
+			Scale:         benchScale,
+			PageSizes:     []int{storage.PageSize1K, storage.PageSize2K},
+			BufferSizesKB: []int{0, 32, 128},
+			UsePathBuffer: true,
+		})
+		// Warm the dataset and tree caches so the benchmarks measure the
+		// experiment itself, not tree construction.
+		benchSuite.Table1()
+	})
+	return benchSuite
+}
+
+func treesForBench() (*rtree.Tree, *rtree.Tree) {
+	benchTreesOnce.Do(func() {
+		benchItemsR = GenerateDataset(DatasetConfig{Kind: Streets, Count: 8000, Seed: 1})
+		benchItemsS = GenerateDataset(DatasetConfig{Kind: Rivers, Count: 8000, Seed: 2})
+		var err error
+		benchTreeR, err = BuildRTree(RTreeOptions{PageSize: PageSize1K}, benchItemsR, false)
+		if err != nil {
+			panic(err)
+		}
+		benchTreeS, err = BuildRTree(RTreeOptions{PageSize: PageSize1K}, benchItemsS, false)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchTreeR, benchTreeS
+}
+
+// --- One benchmark per paper table / figure -------------------------------
+
+// BenchmarkTable1 regenerates Table 1 (R*-tree properties per page size).
+func BenchmarkTable1(b *testing.B) {
+	s := suiteForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table1(); len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (disk accesses and comparisons of SJ1).
+func BenchmarkTable2(b *testing.B) {
+	s := suiteForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res := s.Table2(); len(res.Cells) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (estimated execution time of SJ1).
+func BenchmarkFigure2(b *testing.B) {
+	s := suiteForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if pts := s.Figure2(); len(pts) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (search-space restriction).
+func BenchmarkTable3(b *testing.B) {
+	s := suiteForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table3(); len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (effect of spatial sorting).
+func BenchmarkTable4(b *testing.B) {
+	s := suiteForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table4(); len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5 (read schedules SJ3/SJ4/SJ5).
+func BenchmarkTable5(b *testing.B) {
+	s := suiteForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table5(); len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6 (I/O performance of SJ4 vs SJ1).
+func BenchmarkTable6(b *testing.B) {
+	s := suiteForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res := s.Table6(); len(res.Cells) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable7 regenerates Table 7 (trees of different heights).
+func BenchmarkTable7(b *testing.B) {
+	s := suiteForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table7(); len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (estimated execution time of SJ4).
+func BenchmarkFigure8(b *testing.B) {
+	s := suiteForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if pts := s.Figure8(); len(pts) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9 (improvement factors of SJ4).
+func BenchmarkFigure9(b *testing.B) {
+	s := suiteForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if pts := s.Figure9(); len(pts) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkTable8 regenerates Table 8 (characteristics of tests A-E).
+func BenchmarkTable8(b *testing.B) {
+	s := suiteForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table8(); len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10 (improvement factors for tests A-E).
+func BenchmarkFigure10(b *testing.B) {
+	s := suiteForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if pts := s.Figure10(); len(pts) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// --- Micro-benchmarks for the individual algorithms ------------------------
+
+// benchmarkJoinMethod measures one join algorithm on the shared tree pair.
+func benchmarkJoinMethod(b *testing.B, method JoinMethod, bufferKB int) {
+	r, s := treesForBench()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := TreeJoin(r, s, JoinOptions{
+			Method:        method,
+			BufferBytes:   bufferKB << 10,
+			UsePathBuffer: true,
+			DiscardPairs:  true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Count == 0 {
+			b.Fatal("empty join result")
+		}
+	}
+}
+
+func BenchmarkSpatialJoin1(b *testing.B) { benchmarkJoinMethod(b, SpatialJoin1, 128) }
+func BenchmarkSpatialJoin2(b *testing.B) { benchmarkJoinMethod(b, SpatialJoin2, 128) }
+func BenchmarkSpatialJoin3(b *testing.B) { benchmarkJoinMethod(b, SpatialJoin3, 128) }
+func BenchmarkSpatialJoin4(b *testing.B) { benchmarkJoinMethod(b, SpatialJoin4, 128) }
+func BenchmarkSpatialJoin5(b *testing.B) { benchmarkJoinMethod(b, SpatialJoin5, 128) }
+
+// BenchmarkSpatialJoin4NoBuffer isolates the effect of the LRU buffer
+// (ablation: buffer size 0 vs 128 KByte).
+func BenchmarkSpatialJoin4NoBuffer(b *testing.B) { benchmarkJoinMethod(b, SpatialJoin4, 0) }
+
+// BenchmarkRStarInsert measures dynamic insertion into an R*-tree.
+func BenchmarkRStarInsert(b *testing.B) {
+	items := GenerateDataset(DatasetConfig{Kind: Streets, Count: 20000, Seed: 9})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := NewRTree(RTreeOptions{PageSize: PageSize2K})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, it := range items {
+			t.Insert(it.Rect, it.Data)
+		}
+	}
+}
+
+// BenchmarkSTRBulkLoad measures STR bulk loading of the same data (ablation:
+// dynamic insertion vs packing).
+func BenchmarkSTRBulkLoad(b *testing.B) {
+	items := GenerateDataset(DatasetConfig{Kind: Streets, Count: 20000, Seed: 9})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildRTree(RTreeOptions{PageSize: PageSize2K}, items, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowQuery measures the single-scan query the paper's
+// introduction motivates.
+func BenchmarkWindowQuery(b *testing.B) {
+	r, _ := treesForBench()
+	window := NewRect(0.4, 0.4, 0.45, 0.45)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		r.Search(window, func(TreeEntry) bool { n++; return true })
+	}
+}
+
+// BenchmarkGuttmanVsRStarQuery compares window-query work between the R*-tree
+// and the quadratic R-tree (ablation of the index variant).
+func BenchmarkGuttmanQuery(b *testing.B) {
+	items := GenerateDataset(DatasetConfig{Kind: Streets, Count: 8000, Seed: 1})
+	tree, err := BuildRTree(RTreeOptions{PageSize: PageSize1K, Variant: Quadratic}, items, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := NewRect(0.4, 0.4, 0.45, 0.45)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tree.Search(window, func(TreeEntry) bool { n++; return true })
+	}
+}
+
+// BenchmarkHeightPolicies compares the three policies of section 4.4.
+func BenchmarkHeightPolicies(b *testing.B) {
+	big := GenerateDataset(DatasetConfig{Kind: Streets, Count: 12000, Seed: 4})
+	small := GenerateDataset(DatasetConfig{Kind: Rivers, Count: 800, Seed: 5})
+	r, err := BuildRTree(RTreeOptions{PageSize: PageSize1K}, big, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := BuildRTree(RTreeOptions{PageSize: PageSize1K}, small, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, policy := range []struct {
+		name string
+		p    HeightPolicy
+	}{
+		{"WindowPerPair", WindowPerPair},
+		{"BatchedWindows", BatchedWindows},
+		{"SweepOrder", SweepOrder},
+	} {
+		b.Run(policy.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := TreeJoin(r, s, JoinOptions{
+					Method:       SpatialJoin4,
+					HeightPolicy: policy.p,
+					BufferBytes:  32 << 10,
+					DiscardPairs: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelJoin compares the sequential SJ4 with the work-partitioned
+// parallel execution (extension; the paper's future-work section).
+func BenchmarkParallelJoin(b *testing.B) {
+	r, s := treesForBench()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := ParallelTreeJoin(r, s, ParallelJoinOptions{
+					Options: JoinOptions{Method: SpatialJoin4, BufferBytes: 128 << 10, DiscardPairs: true},
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Count == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSortMergeJoin measures the index-free sort-merge baseline on the
+// same relations as the tree joins.
+func BenchmarkSortMergeJoin(b *testing.B) {
+	treesForBench()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := SortMergeJoin(benchItemsR, benchItemsS); res.Count == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkRestrictionAblation isolates the search-space restriction
+// (DESIGN.md ablation list): the sweep join with and without restriction.
+func BenchmarkRestrictionAblation(b *testing.B) {
+	r, s := treesForBench()
+	for _, cfg := range []struct {
+		name    string
+		disable bool
+	}{
+		{"WithRestriction", false},
+		{"WithoutRestriction", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := join.Join(r, s, join.Options{
+					Method:             join.SJ3,
+					BufferBytes:        128 << 10,
+					DiscardPairs:       true,
+					DisableRestriction: cfg.disable,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+// Command datagen generates the synthetic spatial relations that substitute
+// for the paper's TIGER/Line and region data sets and writes them as CSV
+// files (id,xl,yl,xu,yu) for use with cmd/spatialjoin.
+//
+// Usage:
+//
+//	datagen -kind streets -count 131461 -seed 101 -out streets.csv
+//	datagen -paper A -scale 0.1 -out-r streets.csv -out-s rivers.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		kind  = fs.String("kind", "streets", "dataset kind: streets, rivers or regions")
+		count = fs.Int("count", 10000, "number of spatial objects")
+		seed  = fs.Int64("seed", 1, "random seed")
+		out   = fs.String("out", "", "output CSV file (single relation)")
+		paper = fs.String("paper", "", "generate one of the paper's test pairs A-E instead of a single relation")
+		scale = fs.Float64("scale", 1.0, "scale factor for the paper pair cardinalities")
+		outR  = fs.String("out-r", "r.csv", "output file for relation R of a paper pair")
+		outS  = fs.String("out-s", "s.csv", "output file for relation S of a paper pair")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *paper != "" {
+		return generatePaperPair(*paper, *scale, *outR, *outS)
+	}
+	if *out == "" {
+		return fmt.Errorf("either -out or -paper must be given")
+	}
+	k, err := parseKind(*kind)
+	if err != nil {
+		return err
+	}
+	items := repro.GenerateDataset(repro.DatasetConfig{Kind: k, Count: *count, Seed: *seed})
+	if err := repro.WriteDataset(*out, items); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d %s objects to %s\n", len(items), *kind, *out)
+	return nil
+}
+
+func parseKind(s string) (repro.DatasetKind, error) {
+	switch s {
+	case "streets":
+		return repro.Streets, nil
+	case "rivers":
+		return repro.Rivers, nil
+	case "regions":
+		return repro.Regions, nil
+	default:
+		return repro.Streets, fmt.Errorf("unknown kind %q (want streets, rivers or regions)", s)
+	}
+}
+
+// paperPairs mirrors Table 8 of the paper.
+var paperPairs = map[string]struct {
+	rKind, sKind   repro.DatasetKind
+	rCount, sCount int
+	rSeed, sSeed   int64
+}{
+	"A": {repro.Streets, repro.Rivers, 131461, 128971, 101, 202},
+	"B": {repro.Streets, repro.Streets, 131461, 131192, 101, 303},
+	"C": {repro.Streets, repro.Rivers, 598677, 128971, 404, 202},
+	"D": {repro.Rivers, repro.Rivers, 128971, 128971, 202, 202},
+	"E": {repro.Regions, repro.Regions, 67527, 33696, 505, 606},
+}
+
+func generatePaperPair(name string, scale float64, outR, outS string) error {
+	p, ok := paperPairs[name]
+	if !ok {
+		return fmt.Errorf("unknown paper test %q (want A-E)", name)
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	scaled := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 100 {
+			v = 100
+		}
+		return v
+	}
+	r := repro.GenerateDataset(repro.DatasetConfig{Kind: p.rKind, Count: scaled(p.rCount), Seed: p.rSeed})
+	s := repro.GenerateDataset(repro.DatasetConfig{Kind: p.sKind, Count: scaled(p.sCount), Seed: p.sSeed})
+	if err := repro.WriteDataset(outR, r); err != nil {
+		return err
+	}
+	if err := repro.WriteDataset(outS, s); err != nil {
+		return err
+	}
+	fmt.Printf("test (%s): wrote %d objects to %s and %d objects to %s\n", name, len(r), outR, len(s), outS)
+	return nil
+}

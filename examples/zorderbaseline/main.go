@@ -1,0 +1,64 @@
+// Command zorderbaseline contrasts the R*-tree join with the z-ordering /
+// B+-tree approach the paper discusses as the main alternative access-method
+// family (section 2): rectangles are decomposed into quadtree cells, the
+// cells are stored in a B+-tree and the join is a merge over the two sorted
+// cell sequences.  The example reports the redundancy factor, the candidate
+// count and the comparisons of both approaches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/zbjoin"
+)
+
+func main() {
+	streets := repro.GenerateDataset(repro.DatasetConfig{Kind: repro.Streets, Count: 6000, Seed: 1})
+	rivers := repro.GenerateDataset(repro.DatasetConfig{Kind: repro.Rivers, Count: 6000, Seed: 2})
+
+	// R*-tree join (the paper's approach).
+	streetTree, err := repro.BuildRTree(repro.RTreeOptions{PageSize: repro.PageSize2K}, streets, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	riverTree, err := repro.BuildRTree(repro.RTreeOptions{PageSize: repro.PageSize2K}, rivers, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rtreeRes, err := repro.TreeJoin(streetTree, riverTree, repro.JoinOptions{
+		Method:        repro.SpatialJoin4,
+		BufferBytes:   128 << 10,
+		UsePathBuffer: true,
+		DiscardPairs:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Z-ordering + B+-tree join (the Orenstein-style baseline), at two
+	// redundancy levels.
+	fmt.Printf("R*-tree join (SJ4):  %d pairs, %d comparisons, %d disk accesses\n",
+		rtreeRes.Count, rtreeRes.Metrics.TotalComparisons(), rtreeRes.Metrics.DiskAccesses())
+
+	for _, maxCells := range []int{1, 4, 16} {
+		relR := zbjoin.BuildRelation(streets, zbjoin.Options{MaxCells: maxCells})
+		relS := zbjoin.BuildRelation(rivers, zbjoin.Options{MaxCells: maxCells})
+		res := zbjoin.Join(relR, relS, metrics.NewCollector())
+		falseRate := 0.0
+		if res.Candidates > 0 {
+			falseRate = 1 - float64(len(res.Pairs))/float64(res.Candidates)
+		}
+		fmt.Printf("z-ordering (<=%2d cells/object): %d pairs, redundancy %.2f/%.2f, %d candidates (%.0f%% false), %d verification comparisons\n",
+			maxCells, len(res.Pairs), res.RedundancyR, res.RedundancyS,
+			res.Candidates, 100*falseRate, res.Metrics.Comparisons)
+	}
+
+	fmt.Println("\nBoth approaches compute the same result set.  The z-ordering baseline")
+	fmt.Println("illustrates the redundancy trade-off the paper describes: a finer cell")
+	fmt.Println("decomposition filters better but multiplies the stored references, which is")
+	fmt.Println("exactly the drawback that motivates performing spatial joins directly on")
+	fmt.Println("R*-trees.")
+}

@@ -1,0 +1,297 @@
+// Package btree implements an in-memory B+-tree over uint64 keys with int32
+// values.  It is the storage substrate of the z-ordering spatial-join
+// baseline (internal/zbjoin): spatial objects are decomposed into z-order
+// cells and the cells are stored in a B+-tree, the access-method family the
+// paper contrasts R-trees with (Orenstein's approach, section 2).
+//
+// Duplicate keys are allowed; values with equal keys are returned in
+// insertion order.  The tree supports insertion, exact lookup and ordered
+// range scans, which is all the merge-style spatial join needs.
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultOrder is the default maximum number of keys per node, chosen so a
+// node of 12-byte pairs fits a 4 KByte page like the R*-tree's.
+const DefaultOrder = 256
+
+// Pair is one key/value entry of the tree.
+type Pair struct {
+	Key   uint64
+	Value int32
+}
+
+// node is a B+-tree node.  Leaves hold pairs and are linked; internal nodes
+// hold separator keys and children.
+type node struct {
+	leaf     bool
+	keys     []uint64
+	values   []int32 // leaves only, parallel to keys
+	children []*node // internal nodes only, len(children) == len(keys)+1
+	next     *node   // leaf-chain pointer
+}
+
+// Tree is a B+-tree.  The zero value is not usable; use New.
+type Tree struct {
+	order int
+	root  *node
+	size  int
+	// firstLeaf anchors the leaf chain for full scans.
+	firstLeaf *node
+}
+
+// New returns an empty B+-tree with the given order (maximum keys per node).
+// Orders below 4 are raised to 4.
+func New(order int) *Tree {
+	if order < 4 {
+		order = 4
+	}
+	leaf := &node{leaf: true}
+	return &Tree{order: order, root: leaf, firstLeaf: leaf}
+}
+
+// NewDefault returns an empty tree with DefaultOrder.
+func NewDefault() *Tree { return New(DefaultOrder) }
+
+// Len returns the number of stored pairs.
+func (t *Tree) Len() int { return t.size }
+
+// Order returns the maximum number of keys per node.
+func (t *Tree) Order() int { return t.order }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// Insert adds a key/value pair.  Duplicate keys are allowed.
+func (t *Tree) Insert(key uint64, value int32) {
+	t.size++
+	midKey, sibling := t.insert(t.root, key, value)
+	if sibling == nil {
+		return
+	}
+	newRoot := &node{
+		keys:     []uint64{midKey},
+		children: []*node{t.root, sibling},
+	}
+	t.root = newRoot
+}
+
+// insert adds the pair to the subtree rooted at n.  If n is split, the
+// separator key and the new right sibling are returned.
+func (t *Tree) insert(n *node, key uint64, value int32) (uint64, *node) {
+	if n.leaf {
+		idx := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		n.keys = append(n.keys, 0)
+		copy(n.keys[idx+1:], n.keys[idx:])
+		n.keys[idx] = key
+		n.values = append(n.values, 0)
+		copy(n.values[idx+1:], n.values[idx:])
+		n.values[idx] = value
+		if len(n.keys) > t.order {
+			return t.splitLeaf(n)
+		}
+		return 0, nil
+	}
+	idx := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+	midKey, sibling := t.insert(n.children[idx], key, value)
+	if sibling == nil {
+		return 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[idx+1:], n.keys[idx:])
+	n.keys[idx] = midKey
+	n.children = append(n.children, nil)
+	copy(n.children[idx+2:], n.children[idx+1:])
+	n.children[idx+1] = sibling
+	if len(n.keys) > t.order {
+		return t.splitInternal(n)
+	}
+	return 0, nil
+}
+
+// splitLeaf splits an overflowing leaf, links it into the leaf chain and
+// returns the first key of the new right sibling as the separator.
+func (t *Tree) splitLeaf(n *node) (uint64, *node) {
+	mid := len(n.keys) / 2
+	sibling := &node{
+		leaf:   true,
+		keys:   append([]uint64(nil), n.keys[mid:]...),
+		values: append([]int32(nil), n.values[mid:]...),
+		next:   n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.values = n.values[:mid]
+	n.next = sibling
+	return sibling.keys[0], sibling
+}
+
+// splitInternal splits an overflowing internal node; the middle key moves up.
+func (t *Tree) splitInternal(n *node) (uint64, *node) {
+	mid := len(n.keys) / 2
+	midKey := n.keys[mid]
+	sibling := &node{
+		keys:     append([]uint64(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return midKey, sibling
+}
+
+// findLeaf returns the leaf that would contain key and the index of the first
+// entry >= key within it (which may equal len(keys)).
+func (t *Tree) findLeaf(key uint64) (*node, int) {
+	n := t.root
+	for !n.leaf {
+		idx := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		n = n.children[idx]
+	}
+	idx := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	return n, idx
+}
+
+// Get returns all values stored under key, in insertion order.
+func (t *Tree) Get(key uint64) []int32 {
+	var out []int32
+	t.Scan(key, func(k uint64, v int32) bool {
+		if k != key {
+			return false
+		}
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Contains reports whether at least one pair with the given key exists.
+func (t *Tree) Contains(key uint64) bool {
+	n, idx := t.findLeaf(key)
+	for ; n != nil; n = n.next {
+		for ; idx < len(n.keys); idx++ {
+			if n.keys[idx] == key {
+				return true
+			}
+			if n.keys[idx] > key {
+				return false
+			}
+		}
+		idx = 0
+	}
+	return false
+}
+
+// Scan visits all pairs with key >= from in ascending key order until fn
+// returns false.
+func (t *Tree) Scan(from uint64, fn func(key uint64, value int32) bool) {
+	n, idx := t.findLeaf(from)
+	for ; n != nil; n = n.next {
+		for ; idx < len(n.keys); idx++ {
+			if !fn(n.keys[idx], n.values[idx]) {
+				return
+			}
+		}
+		idx = 0
+	}
+}
+
+// ScanAll visits every pair in ascending key order until fn returns false.
+func (t *Tree) ScanAll(fn func(key uint64, value int32) bool) {
+	for n := t.firstLeaf; n != nil; n = n.next {
+		for i := range n.keys {
+			if !fn(n.keys[i], n.values[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Pairs returns every stored pair in ascending key order.
+func (t *Tree) Pairs() []Pair {
+	out := make([]Pair, 0, t.size)
+	t.ScanAll(func(k uint64, v int32) bool {
+		out = append(out, Pair{Key: k, Value: v})
+		return true
+	})
+	return out
+}
+
+// CheckInvariants verifies the B+-tree structural invariants: keys are sorted
+// within nodes, leaf-chain order equals tree order, all leaves are at the
+// same depth and internal separator keys bound their subtrees.
+func (t *Tree) CheckInvariants() error {
+	depth := -1
+	var checkNode func(n *node, d int, lo, hi uint64) (int, error)
+	checkNode = func(n *node, d int, lo, hi uint64) (int, error) {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] > n.keys[i] {
+				return 0, fmt.Errorf("btree: unsorted keys at depth %d", d)
+			}
+		}
+		for _, k := range n.keys {
+			if k < lo || k > hi {
+				return 0, fmt.Errorf("btree: key %d outside separator bounds [%d,%d]", k, lo, hi)
+			}
+		}
+		if n.leaf {
+			if depth == -1 {
+				depth = d
+			}
+			if d != depth {
+				return 0, fmt.Errorf("btree: leaves at depths %d and %d", depth, d)
+			}
+			return len(n.keys), nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return 0, fmt.Errorf("btree: internal node with %d keys and %d children", len(n.keys), len(n.children))
+		}
+		total := 0
+		for i, c := range n.children {
+			childLo, childHi := lo, hi
+			if i > 0 {
+				childLo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				childHi = n.keys[i]
+			}
+			cnt, err := checkNode(c, d+1, childLo, childHi)
+			if err != nil {
+				return 0, err
+			}
+			total += cnt
+		}
+		return total, nil
+	}
+	total, err := checkNode(t.root, 0, 0, ^uint64(0))
+	if err != nil {
+		return err
+	}
+	if total != t.size {
+		return fmt.Errorf("btree: counted %d pairs, size is %d", total, t.size)
+	}
+	// The leaf chain must enumerate exactly the sorted pairs.
+	chain := 0
+	var prev uint64
+	first := true
+	for n := t.firstLeaf; n != nil; n = n.next {
+		for _, k := range n.keys {
+			if !first && k < prev {
+				return fmt.Errorf("btree: leaf chain out of order (%d after %d)", k, prev)
+			}
+			prev, first = k, false
+			chain++
+		}
+	}
+	if chain != t.size {
+		return fmt.Errorf("btree: leaf chain holds %d pairs, size is %d", chain, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := NewDefault()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("Height = %d", tr.Height())
+	}
+	if tr.Contains(5) {
+		t.Fatal("empty tree must not contain keys")
+	}
+	if got := tr.Get(5); len(got) != 0 {
+		t.Fatalf("Get on empty tree = %v", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Order() != DefaultOrder {
+		t.Fatalf("Order = %d", tr.Order())
+	}
+}
+
+func TestSmallOrderClamped(t *testing.T) {
+	if got := New(1).Order(); got != 4 {
+		t.Fatalf("Order = %d, want 4", got)
+	}
+}
+
+func TestInsertAndScanSorted(t *testing.T) {
+	tr := New(8)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(100000))
+		tr.Insert(keys[i], int32(i))
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("expected a multi-level tree, height = %d", tr.Height())
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var got []uint64
+	tr.ScanAll(func(k uint64, _ int32) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(keys))
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("scan out of order at %d: %d != %d", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestGetDuplicatesAndContains(t *testing.T) {
+	tr := New(4)
+	tr.Insert(10, 1)
+	tr.Insert(10, 2)
+	tr.Insert(10, 3)
+	tr.Insert(20, 4)
+	got := tr.Get(10)
+	if len(got) != 3 {
+		t.Fatalf("Get(10) = %v", got)
+	}
+	if !tr.Contains(20) || tr.Contains(15) {
+		t.Fatal("Contains answered incorrectly")
+	}
+	if got := tr.Get(99); len(got) != 0 {
+		t.Fatalf("Get(99) = %v", got)
+	}
+}
+
+func TestScanFrom(t *testing.T) {
+	tr := New(6)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(uint64(i*2), int32(i))
+	}
+	// Scan from an absent key: must start at the next greater key.
+	var first uint64
+	found := false
+	tr.Scan(501, func(k uint64, _ int32) bool {
+		first = k
+		found = true
+		return false
+	})
+	if !found || first != 502 {
+		t.Fatalf("Scan(501) started at %d (found=%v), want 502", first, found)
+	}
+	// Early termination.
+	n := 0
+	tr.Scan(0, func(uint64, int32) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early termination visited %d", n)
+	}
+	// Scan beyond the maximum key yields nothing.
+	tr.Scan(10_000, func(uint64, int32) bool {
+		t.Fatal("unexpected pair")
+		return false
+	})
+}
+
+func TestPairs(t *testing.T) {
+	tr := New(4)
+	tr.Insert(3, 30)
+	tr.Insert(1, 10)
+	tr.Insert(2, 20)
+	pairs := tr.Pairs()
+	want := []Pair{{1, 10}, {2, 20}, {3, 30}}
+	if len(pairs) != len(want) {
+		t.Fatalf("Pairs = %v", pairs)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("Pairs[%d] = %v, want %v", i, pairs[i], want[i])
+		}
+	}
+}
+
+func TestScanAllEarlyStop(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(uint64(i), int32(i))
+	}
+	n := 0
+	tr.ScanAll(func(uint64, int32) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("ScanAll early stop visited %d", n)
+	}
+}
+
+// Property: for any multiset of keys the tree enumerates exactly the sorted
+// multiset and satisfies its invariants.
+func TestTreeMatchesSortedMultisetProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := New(5)
+		keys := make([]uint64, len(raw))
+		for i, k := range raw {
+			keys[i] = uint64(k)
+			tr.Insert(uint64(k), int32(i))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		got := tr.Pairs()
+		if len(got) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if got[i].Key != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package buffer implements the buffering machinery the paper places between
+// the spatial-join algorithms and secondary storage: an LRU page buffer of
+// configurable size shared by both R*-trees, per-tree path buffers holding
+// the most recently accessed root-to-leaf path, and page pinning as used by
+// SpatialJoin4/5.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// FrameKey identifies a buffered page.  Pages of the two trees participating
+// in a join share one LRU buffer, so the key carries the tree identifier.
+type FrameKey struct {
+	Tree int
+	Page storage.PageID
+}
+
+// LRU is a least-recently-used page buffer with a fixed capacity measured in
+// pages.  Pinned pages are never evicted.  A capacity of zero means no
+// buffering at all (every access misses), which models the paper's
+// "buffer size = 0" experiments.
+//
+// LRU is not safe for concurrent use; the join algorithms are sequential, as
+// in the paper.
+type LRU struct {
+	capacity int
+	order    *list.List // front = most recently used; stores FrameKey
+	frames   map[FrameKey]*list.Element
+	pinned   map[FrameKey]int
+	evicted  int64
+}
+
+// NewLRU returns a buffer holding at most capacity pages.
+func NewLRU(capacity int) *LRU {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		frames:   make(map[FrameKey]*list.Element),
+		pinned:   make(map[FrameKey]int),
+	}
+}
+
+// NewLRUForBytes returns a buffer sized bufferBytes/pageSize pages, the way
+// the paper derives the number of buffer frames from the buffer size in
+// KBytes and the page size.
+func NewLRUForBytes(bufferBytes, pageSize int) *LRU {
+	if pageSize <= 0 {
+		return NewLRU(0)
+	}
+	return NewLRU(bufferBytes / pageSize)
+}
+
+// Capacity returns the number of page frames.
+func (b *LRU) Capacity() int { return b.capacity }
+
+// Len returns the number of pages currently buffered.
+func (b *LRU) Len() int { return len(b.frames) }
+
+// Evictions returns how many pages have been evicted so far.
+func (b *LRU) Evictions() int64 { return b.evicted }
+
+// Contains reports whether the page is buffered, without touching its
+// recency.
+func (b *LRU) Contains(k FrameKey) bool {
+	_, ok := b.frames[k]
+	return ok
+}
+
+// Touch marks the page as most recently used and reports whether it was
+// buffered.
+func (b *LRU) Touch(k FrameKey) bool {
+	el, ok := b.frames[k]
+	if !ok {
+		return false
+	}
+	b.order.MoveToFront(el)
+	return true
+}
+
+// Insert places the page into the buffer as most recently used, evicting the
+// least recently used unpinned page if the buffer is full.  Inserting an
+// already buffered page is equivalent to Touch.  With capacity zero the call
+// is a no-op.
+func (b *LRU) Insert(k FrameKey) {
+	if b.capacity == 0 {
+		return
+	}
+	if el, ok := b.frames[k]; ok {
+		b.order.MoveToFront(el)
+		return
+	}
+	if len(b.frames) >= b.capacity {
+		b.evictOne()
+	}
+	b.frames[k] = b.order.PushFront(k)
+}
+
+// evictOne removes the least recently used unpinned page.  If every buffered
+// page is pinned the buffer temporarily grows beyond its capacity; this
+// mirrors the paper's pinning, which never pins more than one page at a time.
+func (b *LRU) evictOne() {
+	for el := b.order.Back(); el != nil; el = el.Prev() {
+		k := el.Value.(FrameKey)
+		if b.pinned[k] > 0 {
+			continue
+		}
+		b.order.Remove(el)
+		delete(b.frames, k)
+		b.evicted++
+		return
+	}
+}
+
+// Pin prevents the page from being evicted until a matching Unpin.  Pinning a
+// page that is not buffered inserts it first (the join algorithms pin a page
+// they have just read).  Pins nest.
+func (b *LRU) Pin(k FrameKey) {
+	if b.capacity == 0 {
+		// Without a buffer there is nothing to keep; pinning is a no-op and
+		// the caller pays a disk access on the next request, as in the paper's
+		// zero-buffer configuration.
+		return
+	}
+	b.Insert(k)
+	b.pinned[k]++
+}
+
+// Unpin releases one pin of the page.  Unpinning a page that is not pinned is
+// a no-op.
+func (b *LRU) Unpin(k FrameKey) {
+	if n, ok := b.pinned[k]; ok {
+		if n <= 1 {
+			delete(b.pinned, k)
+		} else {
+			b.pinned[k] = n - 1
+		}
+	}
+}
+
+// Pinned reports whether the page currently holds at least one pin.
+func (b *LRU) Pinned(k FrameKey) bool { return b.pinned[k] > 0 }
+
+// Reset empties the buffer and clears all pins.
+func (b *LRU) Reset() {
+	b.order.Init()
+	b.frames = make(map[FrameKey]*list.Element)
+	b.pinned = make(map[FrameKey]int)
+	b.evicted = 0
+}
+
+// String implements fmt.Stringer.
+func (b *LRU) String() string {
+	return fmt.Sprintf("LRU{capacity=%d, len=%d, pinned=%d, evicted=%d}",
+		b.capacity, len(b.frames), len(b.pinned), b.evicted)
+}

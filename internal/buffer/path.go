@@ -1,0 +1,52 @@
+package buffer
+
+import "repro/internal/storage"
+
+// PathBuffer models the R*-tree's private path buffer: it holds the nodes of
+// the root-to-leaf path that was accessed last (section 4.1).  The path
+// buffer belongs to the data structure itself, independent of the shared LRU
+// buffer of the underlying system, so each tree owns one.
+type PathBuffer struct {
+	levels []storage.PageID // index = level, 0 = leaf
+}
+
+// NewPathBuffer returns a path buffer for a tree of the given height (number
+// of levels).  Height may be zero; the buffer grows on demand.
+func NewPathBuffer(height int) *PathBuffer {
+	if height < 0 {
+		height = 0
+	}
+	return &PathBuffer{levels: make([]storage.PageID, height)}
+}
+
+// Contains reports whether the page at the given level is the one on the most
+// recently accessed path.
+func (p *PathBuffer) Contains(level int, id storage.PageID) bool {
+	if level < 0 || level >= len(p.levels) {
+		return false
+	}
+	return p.levels[level] == id && id != storage.InvalidPage
+}
+
+// Record notes that the page at the given level is now on the current path.
+// Deeper levels (below the given one) are invalidated because descending via
+// a different parent abandons the previously buffered subpath.
+func (p *PathBuffer) Record(level int, id storage.PageID) {
+	if level < 0 {
+		return
+	}
+	for len(p.levels) <= level {
+		p.levels = append(p.levels, storage.InvalidPage)
+	}
+	p.levels[level] = id
+	for l := 0; l < level; l++ {
+		p.levels[l] = storage.InvalidPage
+	}
+}
+
+// Reset clears the buffered path.
+func (p *PathBuffer) Reset() {
+	for i := range p.levels {
+		p.levels[i] = storage.InvalidPage
+	}
+}

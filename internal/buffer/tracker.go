@@ -1,0 +1,97 @@
+package buffer
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// Tracker simulates the I/O path of the paper's join experiments: every node
+// access first consults the owning tree's path buffer, then the shared LRU
+// buffer, and only on a miss performs (and counts) a disk access.  All reads
+// performed through one Tracker therefore share a single buffer, the way the
+// paper assumes "the R*-trees involved in the spatial join exclusively use
+// all pages of the LRU-buffer".
+type Tracker struct {
+	lru      *LRU
+	metrics  *metrics.Collector
+	pageSize int
+	usePath  bool
+	paths    map[int]*PathBuffer
+}
+
+// NewTracker creates a tracker that charges accesses to m.  pageSize is used
+// for byte accounting of disk transfers.  If usePathBuffer is false only the
+// LRU buffer is consulted.
+func NewTracker(lru *LRU, m *metrics.Collector, pageSize int, usePathBuffer bool) *Tracker {
+	if lru == nil {
+		lru = NewLRU(0)
+	}
+	return &Tracker{
+		lru:      lru,
+		metrics:  m,
+		pageSize: pageSize,
+		usePath:  usePathBuffer,
+		paths:    make(map[int]*PathBuffer),
+	}
+}
+
+// LRU returns the shared LRU buffer (for tests and statistics).
+func (t *Tracker) LRU() *LRU { return t.lru }
+
+// Metrics returns the collector accesses are charged to.
+func (t *Tracker) Metrics() *metrics.Collector { return t.metrics }
+
+// PageSize returns the page size used for byte accounting.
+func (t *Tracker) PageSize() int { return t.pageSize }
+
+func (t *Tracker) path(tree int) *PathBuffer {
+	p, ok := t.paths[tree]
+	if !ok {
+		p = NewPathBuffer(0)
+		t.paths[tree] = p
+	}
+	return p
+}
+
+// Access simulates reading the page with identifier id of the given tree at
+// the given level (0 = leaf).  It returns true if the request was satisfied
+// from a buffer and false if it required a disk access.
+func (t *Tracker) Access(tree, level int, id storage.PageID) bool {
+	key := FrameKey{Tree: tree, Page: id}
+	if t.usePath {
+		p := t.path(tree)
+		if p.Contains(level, id) {
+			t.metrics.AddPathHit()
+			// A path hit still refreshes the page's LRU recency if buffered.
+			t.lru.Touch(key)
+			return true
+		}
+		p.Record(level, id)
+	}
+	if t.lru.Touch(key) {
+		t.metrics.AddBufferHit()
+		return true
+	}
+	t.metrics.AddDiskRead(int64(t.pageSize))
+	t.lru.Insert(key)
+	return false
+}
+
+// Pin keeps the page of the given tree in the LRU buffer until Unpin.
+func (t *Tracker) Pin(tree int, id storage.PageID) {
+	t.lru.Pin(FrameKey{Tree: tree, Page: id})
+}
+
+// Unpin releases a pin taken with Pin.
+func (t *Tracker) Unpin(tree int, id storage.PageID) {
+	t.lru.Unpin(FrameKey{Tree: tree, Page: id})
+}
+
+// Reset clears the LRU buffer and all path buffers, keeping the metrics
+// collector untouched.
+func (t *Tracker) Reset() {
+	t.lru.Reset()
+	for _, p := range t.paths {
+		p.Reset()
+	}
+}

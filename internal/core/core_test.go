@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/join"
+	"repro/internal/refine"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+func smallTreeOpts() rtree.Options {
+	return rtree.Options{PageSize: storage.PageSize1K}
+}
+
+func TestRelationAddRemoveQuery(t *testing.T) {
+	rel, err := NewRelation("forests", smallTreeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Name() != "forests" {
+		t.Errorf("Name = %q", rel.Name())
+	}
+	obj := Object{ID: 1, MBR: geom.Rect{XL: 0.1, YL: 0.1, XU: 0.2, YU: 0.2}}
+	if err := rel.Add(obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Add(obj); err == nil {
+		t.Fatal("duplicate id must be rejected")
+	}
+	if err := rel.Add(Object{ID: 2, MBR: geom.Rect{XL: 1, YL: 1, XU: 0, YU: 0}}); err == nil {
+		t.Fatal("invalid MBR must be rejected")
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("Len = %d", rel.Len())
+	}
+	if _, ok := rel.Object(1); !ok {
+		t.Fatal("Object(1) not found")
+	}
+	if _, ok := rel.Object(9); ok {
+		t.Fatal("Object(9) unexpectedly found")
+	}
+	got := rel.WindowQuery(geom.Rect{XL: 0, YL: 0, XU: 1, YU: 1}, false)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("WindowQuery = %v", got)
+	}
+	if !rel.Remove(1) {
+		t.Fatal("Remove(1) failed")
+	}
+	if rel.Remove(1) {
+		t.Fatal("Remove(1) must fail the second time")
+	}
+	if rel.Len() != 0 || rel.Tree().Len() != 0 {
+		t.Fatal("relation not empty after Remove")
+	}
+}
+
+func TestBuildRelationDynamicAndBulk(t *testing.T) {
+	items := datagen.Generate(datagen.Config{Kind: datagen.Streets, Count: 2000, Seed: 1})
+	objects := LineObjectsFromItems(items)
+	for _, bulk := range []bool{false, true} {
+		rel, err := BuildRelation("streets", objects, smallTreeOpts(), bulk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.Len() != len(items) || rel.Tree().Len() != len(items) {
+			t.Fatalf("bulk=%v: relation holds %d objects, tree %d", bulk, rel.Len(), rel.Tree().Len())
+		}
+		if err := rel.Tree().CheckInvariants(); err != nil {
+			t.Fatalf("bulk=%v: %v", bulk, err)
+		}
+	}
+	// Duplicate ids are rejected in both paths.
+	dup := []Object{{ID: 1, MBR: geom.Rect{XU: 1, YU: 1}}, {ID: 1, MBR: geom.Rect{XU: 1, YU: 1}}}
+	if _, err := BuildRelation("dup", dup, smallTreeOpts(), false); err == nil {
+		t.Fatal("expected duplicate error (dynamic)")
+	}
+	if _, err := BuildRelation("dup", dup, smallTreeOpts(), true); err == nil {
+		t.Fatal("expected duplicate error (bulk)")
+	}
+	if _, err := NewRelation("bad", rtree.Options{PageSize: 16}); err == nil {
+		t.Fatal("expected error for invalid tree options")
+	}
+	if _, err := BuildRelation("bad", objects, rtree.Options{PageSize: 16}, true); err == nil {
+		t.Fatal("expected error for invalid tree options (bulk)")
+	}
+}
+
+func TestWindowQueryExactRefinement(t *testing.T) {
+	// A diagonal line whose MBR intersects the window but whose geometry does
+	// not: the exact query must drop it, the filter-only query must keep it.
+	line := refine.Polyline{Points: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}}
+	rel, err := NewRelation("lines", smallTreeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Add(Object{ID: 1, Geometry: line, MBR: line.MBR()}); err != nil {
+		t.Fatal(err)
+	}
+	window := geom.Rect{XL: 0.6, YL: 0.0, XU: 0.9, YU: 0.3} // below the diagonal
+	if got := rel.WindowQuery(window, false); len(got) != 1 {
+		t.Fatalf("filter-only query returned %d objects", len(got))
+	}
+	if got := rel.WindowQuery(window, true); len(got) != 0 {
+		t.Fatalf("exact query returned %d objects, want 0", len(got))
+	}
+	// A geometry-less object is kept by the exact query.
+	if err := rel.Add(Object{ID: 2, MBR: window}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.WindowQuery(window, true); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("exact query = %v", got)
+	}
+}
+
+func buildJoinRelations(t *testing.T, n int) (*Relation, *Relation) {
+	t.Helper()
+	itemsR := datagen.Generate(datagen.Config{Kind: datagen.Streets, Count: n, Seed: 10})
+	itemsS := datagen.Generate(datagen.Config{Kind: datagen.Rivers, Count: n, Seed: 11})
+	r, err := BuildRelation("streets", LineObjectsFromItems(itemsR), smallTreeOpts(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildRelation("rivers", LineObjectsFromItems(itemsS), smallTreeOpts(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, s
+}
+
+func TestSpatialJoinMBRvsIDvsObject(t *testing.T) {
+	r, s := buildJoinRelations(t, 2500)
+	mbr, err := SpatialJoin(r, s, JoinOptions{Type: MBRJoin, Filter: join.Options{Method: join.SJ4, BufferBytes: 64 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := SpatialJoin(r, s, JoinOptions{Type: IDJoin, Filter: join.Options{Method: join.SJ4, BufferBytes: 64 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := SpatialJoin(r, s, JoinOptions{Type: ObjectJoin, Filter: join.Options{Method: join.SJ4, BufferBytes: 64 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if mbr.FilterPairs != len(mbr.Pairs) {
+		t.Fatalf("MBR join must keep every filter pair: %d vs %d", mbr.FilterPairs, len(mbr.Pairs))
+	}
+	if len(id.Pairs) > len(mbr.Pairs) {
+		t.Fatalf("refinement cannot add pairs: %d exact vs %d filter", len(id.Pairs), len(mbr.Pairs))
+	}
+	if len(id.Pairs) == 0 {
+		t.Fatal("expected some exact intersections")
+	}
+	if len(obj.Pairs) != len(id.Pairs) {
+		t.Fatalf("object join must report the same pairs as the ID join: %d vs %d", len(obj.Pairs), len(id.Pairs))
+	}
+	withPoints := 0
+	for _, p := range obj.Pairs {
+		if len(p.Points) > 0 {
+			withPoints++
+		}
+	}
+	if withPoints == 0 {
+		t.Fatal("object join must compute intersection points for crossing polylines")
+	}
+	if mbr.Metrics.Comparisons == 0 || mbr.Estimate.TotalSeconds() <= 0 {
+		t.Fatal("join must report metrics and a cost estimate")
+	}
+	if mbr.Type != MBRJoin || id.Type != IDJoin || obj.Type != ObjectJoin {
+		t.Fatal("result types must echo the request")
+	}
+	if mbr.Method != join.SJ4 {
+		t.Fatalf("result method = %v", mbr.Method)
+	}
+
+	// Cross-check the ID join against a brute-force refinement of the filter
+	// result.
+	wantExact := 0
+	for _, p := range mbr.Pairs {
+		ro, _ := r.Object(p.R)
+		so, _ := s.Object(p.S)
+		if ro.Geometry.IntersectsGeometry(so.Geometry) {
+			wantExact++
+		}
+	}
+	if wantExact != len(id.Pairs) {
+		t.Fatalf("ID join found %d pairs, brute-force refinement %d", len(id.Pairs), wantExact)
+	}
+}
+
+func TestSpatialJoinRefinementFallsBackToMBR(t *testing.T) {
+	// Objects without geometry behave like rectangles in the refinement step.
+	itemsR := datagen.Generate(datagen.Config{Kind: datagen.Regions, Count: 400, Seed: 3})
+	itemsS := datagen.Generate(datagen.Config{Kind: datagen.Regions, Count: 400, Seed: 4})
+	r, err := BuildRelation("r", MBRObjectsFromItems(itemsR), smallTreeOpts(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildRelation("s", RegionObjectsFromItems(itemsS), smallTreeOpts(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := SpatialJoin(r, s, JoinOptions{Type: IDJoin, Filter: join.Options{Method: join.SJ2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.FilterPairs != len(id.Pairs) {
+		// Region geometries are exactly their MBRs, so refinement must not
+		// drop anything.
+		t.Fatalf("refinement dropped pairs: %d filter, %d exact", id.FilterPairs, len(id.Pairs))
+	}
+}
+
+func TestSpatialJoinErrors(t *testing.T) {
+	r, s := buildJoinRelations(t, 200)
+	if _, err := SpatialJoin(nil, s, JoinOptions{}); !errors.Is(err, ErrNilRelation) {
+		t.Fatalf("expected ErrNilRelation, got %v", err)
+	}
+	if _, err := SpatialJoin(r, nil, JoinOptions{}); !errors.Is(err, ErrNilRelation) {
+		t.Fatalf("expected ErrNilRelation, got %v", err)
+	}
+	if _, err := SpatialJoin(r, s, JoinOptions{Type: JoinType(9)}); err == nil {
+		t.Fatal("expected error for unknown join type")
+	}
+	other, err := NewRelation("other", rtree.Options{PageSize: storage.PageSize2K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpatialJoin(r, other, JoinOptions{}); err == nil {
+		t.Fatal("expected error for page-size mismatch")
+	}
+}
+
+func TestJoinTypeString(t *testing.T) {
+	for _, jt := range []JoinType{MBRJoin, IDJoin, ObjectJoin, JoinType(9)} {
+		if jt.String() == "" {
+			t.Errorf("empty string for join type %d", int(jt))
+		}
+	}
+}
+
+func TestObjectConverters(t *testing.T) {
+	items := []rtree.Item{{Rect: geom.Rect{XL: 0, YL: 0, XU: 1, YU: 2}, Data: 7}}
+	lines := LineObjectsFromItems(items)
+	if len(lines) != 1 || lines[0].ID != 7 {
+		t.Fatalf("LineObjectsFromItems = %v", lines)
+	}
+	if _, ok := lines[0].Geometry.(refine.Polyline); !ok {
+		t.Fatal("line objects must carry polyline geometry")
+	}
+	regions := RegionObjectsFromItems(items)
+	if _, ok := regions[0].Geometry.(refine.Polygon); !ok {
+		t.Fatal("region objects must carry polygon geometry")
+	}
+	plain := MBRObjectsFromItems(items)
+	if plain[0].Geometry != nil {
+		t.Fatal("MBR objects must not carry geometry")
+	}
+}

@@ -1,0 +1,106 @@
+// Package costmodel converts the counted cost measures (floating-point
+// comparisons and disk accesses) into the estimated execution times the paper
+// plots in Figures 2, 8 and 9.
+//
+// The constants are the ones the paper states in section 4.1: 15 ms to
+// position the disk arm, 5 ms to transfer one KByte from disk and 3.9 µs per
+// floating-point comparison (measured on an HP 720 workstation).  Absolute
+// times are therefore tied to 1993 hardware, but the ratios — which algorithm
+// wins, whether a configuration is CPU- or I/O-bound — depend only on the
+// counted quantities, which is what the reproduction checks.
+package costmodel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Paper constants (section 4.1).
+const (
+	// PositioningCostSeconds is the seek plus rotational latency per disk
+	// access.
+	PositioningCostSeconds = 1.5e-2
+	// TransferCostSecondsPerKByte is the transfer time per KByte read.
+	TransferCostSecondsPerKByte = 5e-3
+	// ComparisonCostSeconds is the cost of one floating-point comparison
+	// including interpreter overhead.
+	ComparisonCostSeconds = 3.9e-6
+)
+
+// Model holds the cost constants; the zero value is unusable, use Default or
+// construct explicitly to study other hardware.
+type Model struct {
+	PositioningSeconds      float64
+	TransferSecondsPerKByte float64
+	ComparisonSeconds       float64
+}
+
+// Default returns the paper's HP 720 cost model.
+func Default() Model {
+	return Model{
+		PositioningSeconds:      PositioningCostSeconds,
+		TransferSecondsPerKByte: TransferCostSecondsPerKByte,
+		ComparisonSeconds:       ComparisonCostSeconds,
+	}
+}
+
+// Estimate is the decomposition of an estimated execution time.
+type Estimate struct {
+	IOSeconds  float64
+	CPUSeconds float64
+}
+
+// TotalSeconds returns I/O plus CPU time.
+func (e Estimate) TotalSeconds() float64 { return e.IOSeconds + e.CPUSeconds }
+
+// Total returns the estimate as a time.Duration.
+func (e Estimate) Total() time.Duration {
+	return time.Duration(e.TotalSeconds() * float64(time.Second))
+}
+
+// IOBound reports whether the estimate is dominated by I/O time.
+func (e Estimate) IOBound() bool { return e.IOSeconds > e.CPUSeconds }
+
+// CPUShare returns the fraction of the total time spent on comparisons.
+func (e Estimate) CPUShare() float64 {
+	t := e.TotalSeconds()
+	if t == 0 {
+		return 0
+	}
+	return e.CPUSeconds / t
+}
+
+// String implements fmt.Stringer.
+func (e Estimate) String() string {
+	return fmt.Sprintf("total=%.1fs io=%.1fs cpu=%.1fs", e.TotalSeconds(), e.IOSeconds, e.CPUSeconds)
+}
+
+// Estimate converts counted costs into estimated seconds.  diskAccesses is
+// the number of page reads and writes, pageSize the page size in bytes, and
+// comparisons the number of floating-point comparisons (join plus sorting).
+func (m Model) Estimate(diskAccesses int64, pageSize int, comparisons int64) Estimate {
+	kbytesPerPage := float64(pageSize) / 1024.0
+	return Estimate{
+		IOSeconds:  float64(diskAccesses) * (m.PositioningSeconds + m.TransferSecondsPerKByte*kbytesPerPage),
+		CPUSeconds: float64(comparisons) * m.ComparisonSeconds,
+	}
+}
+
+// EstimateSnapshot is a convenience wrapper taking a metrics snapshot.
+func (m Model) EstimateSnapshot(s metrics.Snapshot, pageSize int) Estimate {
+	return m.Estimate(s.DiskAccesses(), pageSize, s.TotalComparisons())
+}
+
+// Speedup returns how many times faster b is than a in estimated total time.
+// It returns +Inf when b's estimated time is zero.
+func Speedup(a, b Estimate) float64 {
+	if b.TotalSeconds() == 0 {
+		if a.TotalSeconds() == 0 {
+			return 1
+		}
+		return float64(int64(1) << 62)
+	}
+	return a.TotalSeconds() / b.TotalSeconds()
+}

@@ -1,0 +1,112 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+func TestDefaultConstantsMatchPaper(t *testing.T) {
+	m := Default()
+	if m.PositioningSeconds != 1.5e-2 {
+		t.Errorf("positioning cost = %g", m.PositioningSeconds)
+	}
+	if m.TransferSecondsPerKByte != 5e-3 {
+		t.Errorf("transfer cost = %g", m.TransferSecondsPerKByte)
+	}
+	if m.ComparisonSeconds != 3.9e-6 {
+		t.Errorf("comparison cost = %g", m.ComparisonSeconds)
+	}
+}
+
+func TestEstimateArithmetic(t *testing.T) {
+	m := Default()
+	// 1000 accesses of 1 KByte pages: 1000 * (0.015 + 0.005) = 20 s I/O.
+	// 1,000,000 comparisons: 3.9 s CPU.
+	e := m.Estimate(1000, storage.PageSize1K, 1_000_000)
+	if math.Abs(e.IOSeconds-20) > 1e-9 {
+		t.Errorf("IOSeconds = %g, want 20", e.IOSeconds)
+	}
+	if math.Abs(e.CPUSeconds-3.9) > 1e-9 {
+		t.Errorf("CPUSeconds = %g, want 3.9", e.CPUSeconds)
+	}
+	if math.Abs(e.TotalSeconds()-23.9) > 1e-9 {
+		t.Errorf("TotalSeconds = %g, want 23.9", e.TotalSeconds())
+	}
+	if !e.IOBound() {
+		t.Error("this configuration must be I/O bound")
+	}
+	if share := e.CPUShare(); math.Abs(share-3.9/23.9) > 1e-9 {
+		t.Errorf("CPUShare = %g", share)
+	}
+	if e.Total() != time.Duration(23.9*float64(time.Second)) {
+		t.Errorf("Total = %v", e.Total())
+	}
+	if e.String() == "" {
+		t.Error("String must not be empty")
+	}
+}
+
+func TestEstimateLargerPagesCostMorePerAccess(t *testing.T) {
+	m := Default()
+	small := m.Estimate(100, storage.PageSize1K, 0)
+	large := m.Estimate(100, storage.PageSize8K, 0)
+	if large.IOSeconds <= small.IOSeconds {
+		t.Errorf("8K accesses (%g s) must cost more than 1K accesses (%g s)", large.IOSeconds, small.IOSeconds)
+	}
+	// But not 8x more: positioning dominates.
+	if large.IOSeconds >= 8*small.IOSeconds {
+		t.Errorf("positioning cost must dampen the page-size effect")
+	}
+}
+
+func TestEstimateSnapshot(t *testing.T) {
+	c := metrics.NewCollector()
+	c.AddComparisons(1000)
+	c.AddSortComparisons(500)
+	c.AddDiskRead(int64(storage.PageSize4K))
+	c.AddDiskRead(int64(storage.PageSize4K))
+	e := Default().EstimateSnapshot(c.Snapshot(), storage.PageSize4K)
+	want := Default().Estimate(2, storage.PageSize4K, 1500)
+	if e != want {
+		t.Errorf("EstimateSnapshot = %+v, want %+v", e, want)
+	}
+}
+
+func TestCPUShareZeroTotal(t *testing.T) {
+	if share := (Estimate{}).CPUShare(); share != 0 {
+		t.Errorf("CPUShare of zero estimate = %g", share)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	a := Estimate{IOSeconds: 10, CPUSeconds: 10}
+	b := Estimate{IOSeconds: 4, CPUSeconds: 1}
+	if got := Speedup(a, b); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Speedup = %g, want 4", got)
+	}
+	if got := Speedup(a, Estimate{}); got <= 1e6 {
+		t.Errorf("Speedup over zero estimate = %g, want a huge value", got)
+	}
+	if got := Speedup(Estimate{}, Estimate{}); got != 1 {
+		t.Errorf("Speedup of two zero estimates = %g, want 1", got)
+	}
+}
+
+func TestPaperFigure2Shape(t *testing.T) {
+	// Figure 2 of the paper: with no LRU buffer, SpatialJoin1 is slightly
+	// I/O-bound for 1 KByte pages and becomes clearly CPU-bound for 8 KByte
+	// pages.  Reproduce the shape from the paper's own Table 2 numbers.
+	m := Default()
+	e1 := m.Estimate(24727, storage.PageSize1K, 33566961)
+	e8 := m.Estimate(2837, storage.PageSize8K, 242728164)
+	if !e1.IOBound() {
+		t.Errorf("1 KByte configuration should be I/O bound (io=%g cpu=%g)", e1.IOSeconds, e1.CPUSeconds)
+	}
+	if e8.IOBound() {
+		t.Errorf("8 KByte configuration should be CPU bound (io=%g cpu=%g)", e8.IOSeconds, e8.CPUSeconds)
+	}
+}

@@ -1,0 +1,83 @@
+package dataio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	items := datagen.Generate(datagen.Config{Kind: datagen.Streets, Count: 500, Seed: 1})
+	var buf bytes.Buffer
+	if err := Write(&buf, items); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("round trip returned %d items, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i].Data != items[i].Data || !got[i].Rect.Equal(items[i].Rect) {
+			t.Fatalf("item %d mismatch: %v vs %v", i, got[i], items[i])
+		}
+	}
+}
+
+func TestReadWithoutHeader(t *testing.T) {
+	in := "1,0.1,0.2,0.3,0.4\n2,0.5,0.5,0.6,0.7\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Data != 2 {
+		t.Fatalf("Read = %v", got)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad id after header": "id,xl,yl,xu,yu\noops,0,0,1,1\n",
+		"bad coordinate":      "1,0,zero,1,1\n",
+		"invalid rect":        "1,1,1,0,0\n",
+		"wrong field count":   "1,2,3\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	empty, err := Read(strings.NewReader(""))
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty input: %v, %v", empty, err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "items.csv")
+	items := []rtree.Item{{Rect: geom.Rect{XL: 0, YL: 0, XU: 1, YU: 1}, Data: 7}}
+	if err := WriteFile(path, items); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Data != 7 {
+		t.Fatalf("ReadFile = %v", got)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if err := WriteFile(filepath.Join(dir, "no-such-dir", "x.csv"), items); err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+}

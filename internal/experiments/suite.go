@@ -1,0 +1,203 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (sections 4 and 5) on the synthetic data sets of
+// internal/datagen.  Each experiment returns structured rows and can print
+// itself in the layout of the paper, so the shape of the results (who wins,
+// by what factor, where the crossovers lie) can be compared directly against
+// the published numbers; EXPERIMENTS.md records that comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/datagen"
+	"repro/internal/join"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// DefaultScale is the fraction of the paper's data-set cardinalities used
+// when no scale is configured.  0.05 keeps a full suite run in the order of
+// seconds; cmd/experiments -scale 1.0 reproduces the full sizes.
+const DefaultScale = 0.05
+
+// DefaultBufferSizesKB are the LRU buffer sizes (in KByte) swept by the
+// paper's Tables 2, 5, 6 and 7.
+var DefaultBufferSizesKB = []int{0, 8, 32, 128, 512}
+
+// Config controls the experiment suite.
+type Config struct {
+	// Scale is the fraction of the paper's cardinalities to generate
+	// (default DefaultScale).
+	Scale float64
+	// PageSizes are the page sizes to sweep (default storage.PageSizes).
+	PageSizes []int
+	// BufferSizesKB are the LRU buffer sizes in KByte (default
+	// DefaultBufferSizesKB).
+	BufferSizesKB []int
+	// BulkLoad builds the R*-trees with STR packing instead of dynamic
+	// insertion.  The paper builds its trees by insertion; bulk loading is
+	// offered for quick runs of very large configurations.
+	BulkLoad bool
+	// UsePathBuffer enables the per-tree path buffer (as the paper's
+	// implementation does).
+	UsePathBuffer bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = DefaultScale
+	}
+	if len(c.PageSizes) == 0 {
+		c.PageSizes = append([]int(nil), storage.PageSizes...)
+	}
+	if len(c.BufferSizesKB) == 0 {
+		c.BufferSizesKB = append([]int(nil), DefaultBufferSizesKB...)
+	}
+	return c
+}
+
+// Suite runs the experiments, caching generated data sets and built trees so
+// that several tables can share them.
+type Suite struct {
+	cfg   Config
+	items map[string][]rtree.Item
+	trees map[treeKey]*rtree.Tree
+	model costmodel.Model
+}
+
+type treeKey struct {
+	dataset  string
+	pageSize int
+}
+
+// NewSuite returns a suite for the given configuration.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{
+		cfg:   cfg.withDefaults(),
+		items: make(map[string][]rtree.Item),
+		trees: make(map[treeKey]*rtree.Tree),
+		model: costmodel.Default(),
+	}
+}
+
+// Config returns the effective configuration (defaults applied).
+func (s *Suite) Config() Config { return s.cfg }
+
+// scaledCount applies the configured scale to a paper cardinality.
+func (s *Suite) scaledCount(paperCount int) int {
+	n := int(float64(paperCount) * s.cfg.Scale)
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+// dataset returns (and caches) the items of one named relation.
+func (s *Suite) dataset(name string, cfg datagen.Config) []rtree.Item {
+	if items, ok := s.items[name]; ok {
+		return items
+	}
+	items := datagen.Generate(cfg)
+	s.items[name] = items
+	return items
+}
+
+// Named datasets corresponding to the paper's relations.
+func (s *Suite) streets() []rtree.Item {
+	return s.dataset("streets", datagen.Config{
+		Kind: datagen.Streets, Count: s.scaledCount(datagen.PaperStreetsCount), Seed: 101,
+	})
+}
+
+func (s *Suite) streets2() []rtree.Item {
+	return s.dataset("streets2", datagen.Config{
+		Kind: datagen.Streets, Count: s.scaledCount(datagen.PaperStreets2Count), Seed: 303,
+	})
+}
+
+func (s *Suite) rivers() []rtree.Item {
+	return s.dataset("rivers", datagen.Config{
+		Kind: datagen.Rivers, Count: s.scaledCount(datagen.PaperRiversRailwaysCount), Seed: 202,
+	})
+}
+
+func (s *Suite) largeStreets() []rtree.Item {
+	return s.dataset("largeStreets", datagen.Config{
+		Kind: datagen.Streets, Count: s.scaledCount(datagen.PaperLargeStreetsCount), Seed: 404,
+	})
+}
+
+func (s *Suite) regionsR() []rtree.Item {
+	return s.dataset("regionsR", datagen.Config{
+		Kind: datagen.Regions, Count: s.scaledCount(datagen.PaperRegionRCount), Seed: 505,
+	})
+}
+
+func (s *Suite) regionsS() []rtree.Item {
+	return s.dataset("regionsS", datagen.Config{
+		Kind: datagen.Regions, Count: s.scaledCount(datagen.PaperRegionSCount), Seed: 606,
+	})
+}
+
+// tree returns (and caches) the R*-tree over the named dataset for one page
+// size.
+func (s *Suite) tree(name string, items []rtree.Item, pageSize int) *rtree.Tree {
+	key := treeKey{dataset: name, pageSize: pageSize}
+	if t, ok := s.trees[key]; ok {
+		return t
+	}
+	t, err := rtree.Build(rtree.Options{PageSize: pageSize}, items, s.cfg.BulkLoad)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building tree %s/%d: %v", name, pageSize, err))
+	}
+	s.trees[key] = t
+	return t
+}
+
+// mainPair returns the trees of the paper's main experiment pair (test A:
+// streets R joined with rivers & railways S) for one page size.
+func (s *Suite) mainPair(pageSize int) (*rtree.Tree, *rtree.Tree) {
+	return s.tree("streets", s.streets(), pageSize), s.tree("rivers", s.rivers(), pageSize)
+}
+
+// runJoin executes one join with the suite's buffer settings and returns its
+// result.
+func (s *Suite) runJoin(r, t *rtree.Tree, method join.Method, bufferKB int, extra func(*join.Options)) *join.Result {
+	opts := join.Options{
+		Method:        method,
+		BufferBytes:   bufferKB << 10,
+		UsePathBuffer: s.cfg.UsePathBuffer,
+		DiscardPairs:  true,
+	}
+	if extra != nil {
+		extra(&opts)
+	}
+	res, err := join.Join(r, t, opts)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: join %v failed: %v", method, err))
+	}
+	return res
+}
+
+// writeHeader prints a table/figure caption.
+func writeHeader(w io.Writer, caption string) {
+	fmt.Fprintf(w, "\n%s\n", caption)
+	for range caption {
+		fmt.Fprint(w, "=")
+	}
+	fmt.Fprintln(w)
+}
+
+// sortedKeys returns the sorted keys of an int-keyed map (helper for stable
+// printing).
+func sortedKeys[M ~map[int]V, V any](m M) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// intCounter is a trivial ComparisonCounter for tests.
+type intCounter struct{ n int64 }
+
+func (c *intCounter) AddComparisons(n int64) { c.n += n }
+
+func TestIntersectsCountedAgreesWithIntersects(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a, b := randomRect(rng), randomRect(rng)
+		var c intCounter
+		got := IntersectsCounted(a, b, &c)
+		if got != a.Intersects(b) {
+			t.Fatalf("IntersectsCounted disagrees with Intersects for %v %v", a, b)
+		}
+		if c.n < 1 || c.n > 4 {
+			t.Fatalf("comparison count %d out of [1,4]", c.n)
+		}
+		if got && c.n != 4 {
+			t.Fatalf("intersecting pair must cost exactly 4 comparisons, got %d", c.n)
+		}
+	}
+}
+
+func TestIntersectsCountedShortCircuit(t *testing.T) {
+	// r.XL > s.XU fails the very first conjunct: exactly one comparison.
+	r := Rect{10, 0, 11, 1}
+	s := Rect{0, 0, 1, 1}
+	var c intCounter
+	if IntersectsCounted(r, s, &c) {
+		t.Fatal("rectangles should not intersect")
+	}
+	if c.n != 1 {
+		t.Fatalf("expected 1 comparison, got %d", c.n)
+	}
+
+	// Failure on the second conjunct: two comparisons.
+	c = intCounter{}
+	if IntersectsCounted(s, r, &c) {
+		t.Fatal("rectangles should not intersect")
+	}
+	if c.n != 2 {
+		t.Fatalf("expected 2 comparisons, got %d", c.n)
+	}
+
+	// x-overlapping but y-disjoint above: fails on third conjunct.
+	r = Rect{0, 10, 1, 11}
+	c = intCounter{}
+	if IntersectsCounted(r, s, &c) {
+		t.Fatal("rectangles should not intersect")
+	}
+	if c.n != 3 {
+		t.Fatalf("expected 3 comparisons, got %d", c.n)
+	}
+
+	// y-disjoint the other way: fails on fourth conjunct.
+	c = intCounter{}
+	if IntersectsCounted(s, r, &c) {
+		t.Fatal("rectangles should not intersect")
+	}
+	if c.n != 4 {
+		t.Fatalf("expected 4 comparisons, got %d", c.n)
+	}
+}
+
+func TestIntersectsCountedNilCounter(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{0.5, 0.5, 2, 2}
+	if !IntersectsCounted(a, b, nil) {
+		t.Fatal("expected intersection with nil counter")
+	}
+}
+
+func TestIntersectsIntervalCounted(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{0, 0.5, 1, 2}
+	var c intCounter
+	if !IntersectsIntervalCounted(a, b, &c) {
+		t.Fatal("expected y-interval intersection")
+	}
+	if c.n != 2 {
+		t.Fatalf("expected 2 comparisons, got %d", c.n)
+	}
+	// a.YL <= s.YU holds but a.YU >= s.YL fails: two comparisons.
+	c = intCounter{}
+	if IntersectsIntervalCounted(a, Rect{0, 2, 1, 3}, &c) {
+		t.Fatal("expected no y-interval intersection")
+	}
+	if c.n != 2 {
+		t.Fatalf("expected 2 comparisons, got %d", c.n)
+	}
+	// t.YL <= s.YU already fails: a single comparison.
+	c = intCounter{}
+	if IntersectsIntervalCounted(Rect{0, 2, 1, 3}, a, &c) {
+		t.Fatal("expected no y-interval intersection")
+	}
+	if c.n != 1 {
+		t.Fatalf("expected 1 comparison, got %d", c.n)
+	}
+}
+
+func TestCompareCounted(t *testing.T) {
+	var c intCounter
+	if !CompareCounted(1, 2, &c) {
+		t.Fatal("1 < 2 expected true")
+	}
+	if CompareCounted(2, 1, &c) {
+		t.Fatal("2 < 1 expected false")
+	}
+	if CompareCounted(1, 1, nil) {
+		t.Fatal("1 < 1 expected false")
+	}
+	if c.n != 2 {
+		t.Fatalf("expected 2 comparisons, got %d", c.n)
+	}
+}

@@ -1,0 +1,114 @@
+package join
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/sweep"
+)
+
+// handleHeightDifference deals with the case of section 4.4: the two trees
+// have different heights, so the synchronized descent eventually pairs a data
+// (leaf) node of the shorter tree with a directory node of the taller tree.
+// In that case the data rectangles of the leaf node are evaluated as window
+// queries against the subtrees referenced by the directory node, following
+// the configured HeightPolicy.  It reports whether the pair was handled here;
+// if both nodes are of the same kind the caller continues its normal
+// algorithm.
+//
+// rect optionally restricts the search space (it is the intersection of the
+// parents' rectangles); SJ1 passes nil.
+func (e *executor) handleHeightDifference(nr, ns *rtree.Node, rect *geom.Rect) bool {
+	switch {
+	case nr.IsLeaf() == ns.IsLeaf():
+		return false
+	case nr.IsLeaf():
+		// nr holds data rectangles of R, ns is a directory node of S.
+		e.joinLeafWithDirectory(nr, ns, e.s, rect, func(dataID, subtreeID int32) Pair {
+			return Pair{R: dataID, S: subtreeID}
+		})
+	default:
+		// ns holds data rectangles of S, nr is a directory node of R.
+		e.joinLeafWithDirectory(ns, nr, e.r, rect, func(dataID, subtreeID int32) Pair {
+			return Pair{R: subtreeID, S: dataID}
+		})
+	}
+	return true
+}
+
+// joinLeafWithDirectory joins the data node leaf with the directory node dir
+// belonging to dirTree.  makePair builds a result pair from the identifier of
+// a data entry of the leaf node and the identifier of a data entry found in
+// the directory subtree, preserving the R/S orientation chosen by the caller.
+func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.Tree, rect *geom.Rect, makePair func(dataID, subtreeID int32) Pair) {
+	leafEntries := leaf.Entries
+	dirEntries := dir.Entries
+	if rect != nil {
+		leafEntries = e.restrict(leafEntries, *rect)
+		dirEntries = e.restrict(dirEntries, *rect)
+	}
+	if len(leafEntries) == 0 || len(dirEntries) == 0 {
+		return
+	}
+
+	switch e.opts.HeightPolicy {
+	case PolicyBatchedWindows:
+		// Policy (b): for each directory entry, run all window queries that
+		// intersect it in one traversal of its subtree, so that every page of
+		// the subtree is read at most once.
+		for _, de := range dirEntries {
+			var queries []geom.Rect
+			var ids []int32
+			for _, le := range leafEntries {
+				e.metrics.AddPairTested()
+				if geom.IntersectsCounted(le.Rect, de.Rect, e.metrics) {
+					queries = append(queries, le.Rect)
+					ids = append(ids, le.Data)
+				}
+			}
+			if len(queries) == 0 {
+				continue
+			}
+			dirTree.AccessNode(e.tracker, de.Child)
+			dirTree.BatchSearchSubtree(de.Child, queries, e.tracker, func(q int, found rtree.Entry) {
+				e.emit(makePair(ids[q], found.Data))
+			})
+		}
+
+	case PolicySweepOrder:
+		// Policy (c): determine the intersecting (data, directory) pairs with
+		// the sorted intersection test and run the window queries in that
+		// spatially local order; the shared LRU buffer provides the reuse.
+		leafSorted := append([]rtree.Entry(nil), leafEntries...)
+		dirSorted := append([]rtree.Entry(nil), dirEntries...)
+		leafRects := e.sortEntries(leafSorted)
+		dirRects := e.sortEntries(dirSorted)
+		sweep.SortedIntersectionTest(leafRects, dirRects, e.metrics, func(p sweep.Pair) {
+			e.metrics.AddPairTested()
+			le := leafSorted[p.R]
+			de := dirSorted[p.S]
+			dirTree.AccessNode(e.tracker, de.Child)
+			dirTree.SearchSubtree(de.Child, le.Rect, e.tracker, func(found rtree.Entry) bool {
+				e.emit(makePair(le.Data, found.Data))
+				return true
+			})
+		})
+
+	default:
+		// Policy (a): an individual window query per intersecting pair; the
+		// pages of a subtree are read again for every query unless the buffer
+		// still holds them.
+		for _, le := range leafEntries {
+			for _, de := range dirEntries {
+				e.metrics.AddPairTested()
+				if !geom.IntersectsCounted(le.Rect, de.Rect, e.metrics) {
+					continue
+				}
+				dirTree.AccessNode(e.tracker, de.Child)
+				dirTree.SearchSubtree(de.Child, le.Rect, e.tracker, func(found rtree.Entry) bool {
+					e.emit(makePair(le.Data, found.Data))
+					return true
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package join implements the spatial-join algorithms of the paper: the
+// straightforward R*-tree join (SpatialJoin1), its CPU-tuned variants
+// (search-space restriction and the sorted intersection test), the I/O-tuned
+// read schedules (local plane-sweep order, pinning, local z-order) and the
+// policies for joining trees of different heights, plus a nested-loop
+// baseline without index support.
+//
+// All algorithms compute the MBR-spatial-join: the set of pairs of object
+// identifiers whose minimum bounding rectangles intersect (section 2.1).  CPU
+// cost is charged to a metrics.Collector as floating-point comparisons and
+// I/O cost as page accesses through a shared LRU buffer, mirroring the
+// paper's cost measures.
+package join
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/metrics"
+	"repro/internal/rtree"
+)
+
+// Method selects the join algorithm.
+type Method int
+
+const (
+	// NestedLoop is the baseline without index support: every object of R is
+	// tested against every object of S.
+	NestedLoop Method = iota
+	// SJ1 is the straightforward R*-tree join of section 4.1: synchronized
+	// depth-first traversal, every entry of one node tested against every
+	// entry of the other.
+	SJ1
+	// SJ2 adds the search-space restriction of section 4.2: only entries
+	// intersecting the intersection rectangle of the two parent entries are
+	// tested against each other.
+	SJ2
+	// SJ3 adds spatial sorting and the plane-sweep intersection test of
+	// section 4.2 and uses the sweep output order as the read schedule
+	// ("local plane-sweep order", section 4.3).
+	SJ3
+	// SJ4 is SJ3 plus pinning: after joining a pair of directory pages, the
+	// page whose rectangle intersects the most unprocessed rectangles of the
+	// other node is pinned in the buffer and completely processed first.
+	// This is the algorithm the paper recommends.
+	SJ4
+	// SJ5 orders the read schedule by the z-order value of the intersection
+	// rectangles' centres instead of the plane-sweep order (with pinning).
+	SJ5
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case NestedLoop:
+		return "NestedLoop"
+	case SJ1:
+		return "SpatialJoin1"
+	case SJ2:
+		return "SpatialJoin2"
+	case SJ3:
+		return "SpatialJoin3"
+	case SJ4:
+		return "SpatialJoin4"
+	case SJ5:
+		return "SpatialJoin5"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists all tree-based join algorithms in the order the paper
+// introduces them.
+var Methods = []Method{SJ1, SJ2, SJ3, SJ4, SJ5}
+
+// HeightPolicy selects how a directory node of the taller tree is joined with
+// a data node of the shorter tree (section 4.4).
+type HeightPolicy int
+
+const (
+	// PolicyWindowPerPair performs one window query on the directory subtree
+	// for every intersecting pair of entries (policy (a)).
+	PolicyWindowPerPair HeightPolicy = iota
+	// PolicyBatchedWindows performs all window queries that fall into one
+	// subtree in a single traversal, so each page of the subtree is read at
+	// most once (policy (b); the paper's recommendation).
+	PolicyBatchedWindows
+	// PolicySweepOrder performs the window queries in local plane-sweep order
+	// of the intersecting pairs (policy (c)).
+	PolicySweepOrder
+)
+
+// String implements fmt.Stringer.
+func (p HeightPolicy) String() string {
+	switch p {
+	case PolicyWindowPerPair:
+		return "policy(a)"
+	case PolicyBatchedWindows:
+		return "policy(b)"
+	case PolicySweepOrder:
+		return "policy(c)"
+	default:
+		return fmt.Sprintf("HeightPolicy(%d)", int(p))
+	}
+}
+
+// Pair is one result of the MBR-spatial-join: the identifiers of two objects
+// whose minimum bounding rectangles intersect.
+type Pair struct {
+	R, S int32
+}
+
+// Options configures a join run.
+type Options struct {
+	// Method selects the algorithm.  The default is SJ4, the paper's best
+	// performing variant.
+	Method Method
+	// BufferBytes is the size of the shared LRU buffer in bytes (0 disables
+	// buffering, reproducing the paper's "buffer size = 0" rows).
+	BufferBytes int
+	// UsePathBuffer enables the per-tree path buffer in addition to the LRU
+	// buffer, as the paper's R*-tree implementation does.
+	UsePathBuffer bool
+	// HeightPolicy selects the strategy for joining trees of different
+	// heights.  The default is PolicyBatchedWindows (policy (b)).
+	HeightPolicy HeightPolicy
+	// Collector receives the cost counters.  If nil a fresh collector is used
+	// and returned in the result.
+	Collector *metrics.Collector
+	// DiscardPairs suppresses materialising the result pairs; only the count
+	// is reported.  Benchmarks use it to avoid measuring slice growth.
+	DiscardPairs bool
+	// DisableRestriction turns off the search-space restriction in the
+	// sweep-based joins (SJ3-SJ5).  It reproduces "version (I)" of the
+	// paper's Table 4, which isolates the effect of spatial sorting from the
+	// effect of restricting the search space.
+	DisableRestriction bool
+	// OnPair, if non-nil, is called for every result pair in the order the
+	// algorithm produces them (before any materialisation).
+	OnPair func(Pair)
+}
+
+// Result is the outcome of a join.
+type Result struct {
+	// Pairs holds the result pairs unless Options.DiscardPairs was set.
+	Pairs []Pair
+	// Count is the number of result pairs.
+	Count int
+	// Metrics is a snapshot of the counters accumulated during the join.
+	Metrics metrics.Snapshot
+	// Method records the algorithm that produced the result.
+	Method Method
+}
+
+// Errors returned by Join.
+var (
+	ErrNilTree          = errors.New("join: nil tree")
+	ErrPageSizeMismatch = errors.New("join: trees must use the same page size")
+)
+
+// Join computes the MBR-spatial-join of the two trees.
+func Join(r, s *rtree.Tree, opts Options) (*Result, error) {
+	if r == nil || s == nil {
+		return nil, ErrNilTree
+	}
+	if r.PageSize() != s.PageSize() {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrPageSizeMismatch, r.PageSize(), s.PageSize())
+	}
+	collector := opts.Collector
+	if collector == nil {
+		collector = metrics.NewCollector()
+	}
+	before := collector.Snapshot()
+
+	lru := buffer.NewLRUForBytes(opts.BufferBytes, r.PageSize())
+	tracker := buffer.NewTracker(lru, collector, r.PageSize(), opts.UsePathBuffer)
+
+	res := &Result{Method: opts.Method}
+	e := &executor{
+		r:       r,
+		s:       s,
+		tracker: tracker,
+		metrics: collector,
+		opts:    opts,
+		emit: func(p Pair) {
+			res.Count++
+			collector.AddPairReported()
+			if opts.OnPair != nil {
+				opts.OnPair(p)
+			}
+			if !opts.DiscardPairs {
+				res.Pairs = append(res.Pairs, p)
+			}
+		},
+	}
+
+	switch opts.Method {
+	case NestedLoop:
+		e.nestedLoop()
+	case SJ1:
+		e.runSJ1()
+	case SJ2:
+		e.runSJ2()
+	case SJ3, SJ5:
+		e.runSweep(opts.Method)
+	case SJ4:
+		e.runSweep(SJ4)
+	default:
+		return nil, fmt.Errorf("join: unknown method %v", opts.Method)
+	}
+
+	res.Metrics = collector.Snapshot().Sub(before)
+	return res, nil
+}
+
+// executor bundles the state shared by all join algorithms of one run.
+type executor struct {
+	r, s    *rtree.Tree
+	tracker *buffer.Tracker
+	metrics *metrics.Collector
+	opts    Options
+	emit    func(Pair)
+}
+
+// accessRoots charges the initial read of both root pages, which every
+// tree-based join performs exactly once.
+func (e *executor) accessRoots() {
+	e.r.AccessNode(e.tracker, e.r.Root())
+	e.s.AccessNode(e.tracker, e.s.Root())
+}

@@ -1,0 +1,130 @@
+package join
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// nestedLoop is the index-free baseline of section 2.1: every object of R is
+// tested against every object of S.  Its I/O model is a block nested loop:
+// every data page of R is read once, and for every data page of R every data
+// page of S is read (subject to the shared buffer), which is why the paper
+// dismisses it for large relations.
+func (e *executor) nestedLoop() {
+	var rLeaves, sLeaves []*rtree.Node
+	e.r.Walk(func(n *rtree.Node) {
+		if n.IsLeaf() {
+			rLeaves = append(rLeaves, n)
+		}
+	})
+	e.s.Walk(func(n *rtree.Node) {
+		if n.IsLeaf() {
+			sLeaves = append(sLeaves, n)
+		}
+	})
+	for _, rn := range rLeaves {
+		e.r.AccessNode(e.tracker, rn)
+		for _, sn := range sLeaves {
+			e.s.AccessNode(e.tracker, sn)
+			for _, er := range rn.Entries {
+				for _, es := range sn.Entries {
+					if geom.IntersectsCounted(er.Rect, es.Rect, e.metrics) {
+						e.emit(Pair{R: er.Data, S: es.Data})
+					}
+				}
+			}
+		}
+	}
+}
+
+// runSJ1 executes SpatialJoin1 (section 4.1).
+func (e *executor) runSJ1() {
+	e.accessRoots()
+	e.sj1(e.r.Root(), e.s.Root())
+}
+
+// sj1 is the straightforward join: every entry of nr is tested against every
+// entry of ns; qualifying directory pairs are descended into.
+func (e *executor) sj1(nr, ns *rtree.Node) {
+	if leafDir := e.handleHeightDifference(nr, ns, nil); leafDir {
+		return
+	}
+	for is := range ns.Entries {
+		es := ns.Entries[is]
+		for ir := range nr.Entries {
+			er := nr.Entries[ir]
+			e.metrics.AddPairTested()
+			if !geom.IntersectsCounted(er.Rect, es.Rect, e.metrics) {
+				continue
+			}
+			if nr.IsLeaf() && ns.IsLeaf() {
+				e.emit(Pair{R: er.Data, S: es.Data})
+				continue
+			}
+			e.r.AccessNode(e.tracker, er.Child)
+			e.s.AccessNode(e.tracker, es.Child)
+			e.sj1(er.Child, es.Child)
+		}
+	}
+}
+
+// runSJ2 executes SpatialJoin2: SJ1 plus the search-space restriction.
+func (e *executor) runSJ2() {
+	e.accessRoots()
+	rootRect, ok := rootIntersection(e.r, e.s)
+	if !ok {
+		return
+	}
+	e.sj2(e.r.Root(), e.s.Root(), rootRect)
+}
+
+// rootIntersection returns the intersection of the MBRs of both trees; if the
+// trees do not overlap at all the join result is empty.
+func rootIntersection(r, s *rtree.Tree) (geom.Rect, bool) {
+	rb, okR := r.Bounds()
+	sb, okS := s.Bounds()
+	if !okR || !okS {
+		return geom.Rect{}, false
+	}
+	return rb.Intersection(sb)
+}
+
+// sj2 joins two nodes considering only entries that intersect rect, the
+// intersection of the parents' rectangles (section 4.2, "restricting the
+// search space").  The marking scans are charged one comparison predicate per
+// entry, as in the paper's accounting.
+func (e *executor) sj2(nr, ns *rtree.Node, rect geom.Rect) {
+	if leafDir := e.handleHeightDifference(nr, ns, &rect); leafDir {
+		return
+	}
+	rEntries := e.restrict(nr.Entries, rect)
+	sEntries := e.restrict(ns.Entries, rect)
+	for _, es := range sEntries {
+		for _, er := range rEntries {
+			e.metrics.AddPairTested()
+			if !geom.IntersectsCounted(er.Rect, es.Rect, e.metrics) {
+				continue
+			}
+			if nr.IsLeaf() && ns.IsLeaf() {
+				e.emit(Pair{R: er.Data, S: es.Data})
+				continue
+			}
+			childRect, _ := er.Rect.Intersection(es.Rect)
+			e.r.AccessNode(e.tracker, er.Child)
+			e.s.AccessNode(e.tracker, es.Child)
+			e.sj2(er.Child, es.Child, childRect)
+		}
+	}
+}
+
+// restrict returns the entries whose rectangle intersects rect, charging one
+// intersection predicate per entry for the marking scan.
+func (e *executor) restrict(entries []rtree.Entry, rect geom.Rect) []rtree.Entry {
+	out := make([]rtree.Entry, 0, len(entries))
+	for _, en := range entries {
+		if geom.IntersectsCounted(en.Rect, rect, e.metrics) {
+			out = append(out, en)
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package join
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/rtree"
+)
+
+// ParallelOptions configures ParallelJoin.
+type ParallelOptions struct {
+	// Options are the per-worker join options; the method must be one of the
+	// tree-based algorithms (SJ1-SJ5).  Each worker receives its own LRU
+	// buffer of Options.BufferBytes / Workers bytes, modelling a partitioned
+	// buffer pool.
+	Options Options
+	// Workers is the number of concurrent workers; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// ParallelJoin computes the MBR-spatial-join of two trees by partitioning the
+// pairs of qualifying root entries across workers, each of which runs the
+// configured sequential algorithm on its partition.  This implements the
+// parallel execution the paper lists as future work (section 6, referring to
+// parallel R-trees); it is an extension beyond the published algorithms.
+//
+// The result set is identical to the sequential join.  The reported metrics
+// are the sums over all workers, so disk accesses are those of a partitioned
+// buffer rather than one shared buffer.
+func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
+	if r == nil || s == nil {
+		return nil, ErrNilTree
+	}
+	if r.PageSize() != s.PageSize() {
+		return nil, ErrPageSizeMismatch
+	}
+	opts := popts.Options
+	if opts.Method == NestedLoop {
+		return nil, ErrParallelNestedLoop
+	}
+	if r.Root().IsLeaf() || s.Root().IsLeaf() {
+		// Trees this small offer no parallelism; run the sequential join.
+		return Join(r, s, opts)
+	}
+	workers := popts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	collector := opts.Collector
+	if collector == nil {
+		collector = metrics.NewCollector()
+	}
+	before := collector.Snapshot()
+
+	// Partition: all pairs of root entries whose rectangles intersect.  Each
+	// pair is an independent sub-join of two subtrees.
+	type task struct {
+		er, es rtree.Entry
+	}
+	var tasks []task
+	for _, er := range r.Root().Entries {
+		for _, es := range s.Root().Entries {
+			if geom.IntersectsCounted(er.Rect, es.Rect, collector) {
+				tasks = append(tasks, task{er: er, es: es})
+			}
+		}
+	}
+	// Larger intersection areas first gives a better load balance.
+	sort.SliceStable(tasks, func(i, j int) bool {
+		return tasks[i].er.Rect.IntersectionArea(tasks[i].es.Rect) >
+			tasks[j].er.Rect.IntersectionArea(tasks[j].es.Rect)
+	})
+
+	res := &Result{Method: opts.Method}
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		jobs = make(chan task)
+	)
+	emit := func(p Pair) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.Count++
+		collector.AddPairReported()
+		if opts.OnPair != nil {
+			opts.OnPair(p)
+		}
+		if !opts.DiscardPairs {
+			res.Pairs = append(res.Pairs, p)
+		}
+	}
+
+	perWorkerBuffer := opts.BufferBytes / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lru := buffer.NewLRUForBytes(perWorkerBuffer, r.PageSize())
+			tracker := buffer.NewTracker(lru, collector, r.PageSize(), opts.UsePathBuffer)
+			e := &executor{r: r, s: s, tracker: tracker, metrics: collector, opts: opts, emit: emit}
+			for t := range jobs {
+				rect, ok := t.er.Rect.Intersection(t.es.Rect)
+				if !ok {
+					continue
+				}
+				e.r.AccessNode(e.tracker, t.er.Child)
+				e.s.AccessNode(e.tracker, t.es.Child)
+				switch opts.Method {
+				case SJ1:
+					e.sj1(t.er.Child, t.es.Child)
+				case SJ2:
+					e.sj2(t.er.Child, t.es.Child, rect)
+				default:
+					e.sweepJoin(t.er.Child, t.es.Child, rect, opts.Method)
+				}
+			}
+		}()
+	}
+	for _, t := range tasks {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+	res.Metrics = collector.Snapshot().Sub(before)
+	return res, nil
+}
+
+// ErrParallelNestedLoop is returned when ParallelJoin is asked to run the
+// index-free nested-loop baseline, which it does not support.
+var ErrParallelNestedLoop = errors.New("join: ParallelJoin supports only the tree-based methods SJ1-SJ5")

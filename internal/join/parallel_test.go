@@ -1,0 +1,116 @@
+package join
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+func TestParallelJoinMatchesSequential(t *testing.T) {
+	r, s, itemsR, itemsS := buildPair(t, 4000, 4000, storage.PageSize1K)
+	want := bruteForce(itemsR, itemsS)
+
+	for _, method := range []Method{SJ1, SJ4} {
+		for _, workers := range []int{0, 1, 4} {
+			res, err := ParallelJoin(r, s, ParallelOptions{
+				Options: Options{Method: method, BufferBytes: 128 << 10, UsePathBuffer: true},
+				Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("%v/%d workers: %v", method, workers, err)
+			}
+			got := asPairSet(res.Pairs)
+			if len(got) != len(want) {
+				t.Fatalf("%v/%d workers: %d pairs, want %d", method, workers, len(got), len(want))
+			}
+			for p := range want {
+				if !got[p] {
+					t.Fatalf("%v/%d workers: missing pair %v", method, workers, p)
+				}
+			}
+			if res.Metrics.Comparisons == 0 || res.Metrics.DiskReads == 0 {
+				t.Fatalf("%v/%d workers: missing metrics", method, workers)
+			}
+		}
+	}
+}
+
+func TestParallelJoinErrorsAndFallbacks(t *testing.T) {
+	r, s, _, _ := buildPair(t, 500, 500, storage.PageSize1K)
+	if _, err := ParallelJoin(nil, s, ParallelOptions{}); !errors.Is(err, ErrNilTree) {
+		t.Fatalf("expected ErrNilTree, got %v", err)
+	}
+	other := rtree.MustNew(rtree.Options{PageSize: storage.PageSize2K})
+	if _, err := ParallelJoin(r, other, ParallelOptions{}); !errors.Is(err, ErrPageSizeMismatch) {
+		t.Fatalf("expected ErrPageSizeMismatch, got %v", err)
+	}
+	if _, err := ParallelJoin(r, s, ParallelOptions{Options: Options{Method: NestedLoop}}); !errors.Is(err, ErrParallelNestedLoop) {
+		t.Fatalf("expected ErrParallelNestedLoop, got %v", err)
+	}
+
+	// Tiny trees (single leaf) fall back to the sequential join.
+	tiny1 := rtree.MustNew(rtree.Options{PageSize: storage.PageSize1K})
+	tiny2 := rtree.MustNew(rtree.Options{PageSize: storage.PageSize1K})
+	tiny1.Insert(geom.Rect{XL: 0, YL: 0, XU: 1, YU: 1}, 1)
+	tiny2.Insert(geom.Rect{XL: 0.5, YL: 0.5, XU: 2, YU: 2}, 2)
+	res, err := ParallelJoin(tiny1, tiny2, ParallelOptions{Options: Options{Method: SJ4}, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Fatalf("tiny-tree fallback found %d pairs, want 1", res.Count)
+	}
+}
+
+func TestParallelJoinStreamsPairs(t *testing.T) {
+	r, s, _, _ := buildPair(t, 2000, 2000, storage.PageSize1K)
+	streamed := 0
+	res, err := ParallelJoin(r, s, ParallelOptions{
+		Options: Options{
+			Method:       SJ4,
+			DiscardPairs: true,
+			OnPair:       func(Pair) { streamed++ },
+		},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 0 || streamed != res.Count || res.Count == 0 {
+		t.Fatalf("streamed=%d count=%d pairs=%d", streamed, res.Count, len(res.Pairs))
+	}
+}
+
+func TestSortMergeJoinMatchesBruteForce(t *testing.T) {
+	_, _, itemsR, itemsS := buildPair(t, 3000, 3000, storage.PageSize1K)
+	want := bruteForce(itemsR, itemsS)
+	res := SortMergeJoin(itemsR, itemsS, nil)
+	got := asPairSet(res.Pairs)
+	if len(got) != len(want) {
+		t.Fatalf("%d pairs, want %d", len(got), len(want))
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("missing pair %v", p)
+		}
+	}
+	if res.Metrics.SortComparisons == 0 || res.Metrics.Comparisons == 0 {
+		t.Fatal("sort-merge join must charge sorting and join comparisons")
+	}
+	if res.Metrics.DiskReads != 0 {
+		t.Fatal("sort-merge join charges no I/O")
+	}
+	if res.Count != len(res.Pairs) {
+		t.Fatal("count mismatch")
+	}
+}
+
+func TestSortMergeJoinEmpty(t *testing.T) {
+	res := SortMergeJoin(nil, nil, nil)
+	if res.Count != 0 {
+		t.Fatalf("empty join produced %d pairs", res.Count)
+	}
+}

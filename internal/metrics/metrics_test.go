@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCollectorBasicCounting(t *testing.T) {
+	c := NewCollector()
+	c.AddComparisons(4)
+	c.AddComparisons(3)
+	c.AddSortComparisons(10)
+	c.AddDiskRead(1024)
+	c.AddDiskRead(1024)
+	c.AddDiskWrite(2048)
+	c.AddBufferHit()
+	c.AddPathHit()
+	c.AddNodeSort()
+	c.AddPairTested()
+	c.AddPairReported()
+
+	if got := c.Comparisons(); got != 7 {
+		t.Errorf("Comparisons = %d, want 7", got)
+	}
+	if got := c.SortComparisons(); got != 10 {
+		t.Errorf("SortComparisons = %d, want 10", got)
+	}
+	if got := c.TotalComparisons(); got != 17 {
+		t.Errorf("TotalComparisons = %d, want 17", got)
+	}
+	if got := c.DiskReads(); got != 2 {
+		t.Errorf("DiskReads = %d, want 2", got)
+	}
+	if got := c.DiskWrites(); got != 1 {
+		t.Errorf("DiskWrites = %d, want 1", got)
+	}
+	if got := c.DiskAccesses(); got != 3 {
+		t.Errorf("DiskAccesses = %d, want 3", got)
+	}
+	if got := c.BytesRead(); got != 2048 {
+		t.Errorf("BytesRead = %d, want 2048", got)
+	}
+	if got := c.BytesWritten(); got != 2048 {
+		t.Errorf("BytesWritten = %d, want 2048", got)
+	}
+	if got := c.BufferHits(); got != 1 {
+		t.Errorf("BufferHits = %d, want 1", got)
+	}
+	if got := c.PathHits(); got != 1 {
+		t.Errorf("PathHits = %d, want 1", got)
+	}
+	if got := c.NodeSorts(); got != 1 {
+		t.Errorf("NodeSorts = %d, want 1", got)
+	}
+	if got := c.PairsTested(); got != 1 {
+		t.Errorf("PairsTested = %d, want 1", got)
+	}
+	if got := c.PairsReported(); got != 1 {
+		t.Errorf("PairsReported = %d, want 1", got)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector()
+	c.AddComparisons(5)
+	c.AddDiskRead(100)
+	c.Reset()
+	s := c.Snapshot()
+	if s != (Snapshot{}) {
+		t.Fatalf("after Reset snapshot = %+v, want zero", s)
+	}
+}
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	// None of these may panic.
+	c.AddComparisons(1)
+	c.AddSortComparisons(1)
+	c.AddDiskRead(1)
+	c.AddDiskWrite(1)
+	c.AddBufferHit()
+	c.AddPathHit()
+	c.AddNodeSort()
+	c.AddPairTested()
+	c.AddPairReported()
+}
+
+func TestSnapshotSub(t *testing.T) {
+	c := NewCollector()
+	c.AddComparisons(10)
+	c.AddDiskRead(512)
+	before := c.Snapshot()
+	c.AddComparisons(7)
+	c.AddDiskRead(512)
+	c.AddDiskRead(512)
+	diff := c.Snapshot().Sub(before)
+	if diff.Comparisons != 7 {
+		t.Errorf("diff.Comparisons = %d, want 7", diff.Comparisons)
+	}
+	if diff.DiskReads != 2 {
+		t.Errorf("diff.DiskReads = %d, want 2", diff.DiskReads)
+	}
+	if diff.DiskAccesses() != 2 {
+		t.Errorf("diff.DiskAccesses = %d, want 2", diff.DiskAccesses())
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	c := NewCollector()
+	c.AddComparisons(3)
+	s := c.Snapshot().String()
+	if !strings.Contains(s, "comparisons=3") {
+		t.Errorf("String() = %q, missing comparison count", s)
+	}
+}
+
+func TestCollectorConcurrency(t *testing.T) {
+	c := NewCollector()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.AddComparisons(1)
+				c.AddDiskRead(16)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Comparisons(); got != workers*perWorker {
+		t.Errorf("Comparisons = %d, want %d", got, workers*perWorker)
+	}
+	if got := c.DiskReads(); got != workers*perWorker {
+		t.Errorf("DiskReads = %d, want %d", got, workers*perWorker)
+	}
+}

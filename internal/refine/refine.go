@@ -1,0 +1,298 @@
+// Package refine implements the refinement step of spatial query processing
+// (section 2 of the paper): after the filter step has produced candidate
+// pairs whose minimum bounding rectangles intersect, the exact geometries are
+// checked.  This is what turns the MBR-spatial-join into the ID-spatial-join
+// and the object-spatial-join of section 2.1.
+//
+// The package provides polylines (the geometry type of the TIGER street and
+// river data) and simple polygons (the geometry type of the region data),
+// exact intersection predicates between them, and the computation of the
+// intersection points reported by the object-spatial-join.
+package refine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+const eps = 1e-12
+
+// Polyline is an open chain of straight segments.
+type Polyline struct {
+	Points []geom.Point
+}
+
+// NewPolyline returns a polyline over the given points.  At least two points
+// are required.
+func NewPolyline(pts ...geom.Point) (Polyline, error) {
+	if len(pts) < 2 {
+		return Polyline{}, fmt.Errorf("refine: polyline needs at least 2 points, got %d", len(pts))
+	}
+	return Polyline{Points: pts}, nil
+}
+
+// Segments returns the number of segments.
+func (p Polyline) Segments() int {
+	if len(p.Points) < 2 {
+		return 0
+	}
+	return len(p.Points) - 1
+}
+
+// Segment returns the i-th segment.
+func (p Polyline) Segment(i int) Segment {
+	return Segment{A: p.Points[i], B: p.Points[i+1]}
+}
+
+// MBR returns the minimum bounding rectangle of the polyline.
+func (p Polyline) MBR() geom.Rect { return geom.RectFromPoints(p.Points) }
+
+// Length returns the total length of the polyline.
+func (p Polyline) Length() float64 {
+	var sum float64
+	for i := 0; i < p.Segments(); i++ {
+		s := p.Segment(i)
+		sum += s.A.Distance(s.B)
+	}
+	return sum
+}
+
+// Polygon is a simple polygon given by its ring of vertices (implicitly
+// closed; the last vertex must not repeat the first).
+type Polygon struct {
+	Ring []geom.Point
+}
+
+// NewPolygon returns a polygon over the given ring.  At least three vertices
+// are required.
+func NewPolygon(ring ...geom.Point) (Polygon, error) {
+	if len(ring) < 3 {
+		return Polygon{}, fmt.Errorf("refine: polygon needs at least 3 vertices, got %d", len(ring))
+	}
+	return Polygon{Ring: ring}, nil
+}
+
+// RectPolygon returns the polygon covering the rectangle r.
+func RectPolygon(r geom.Rect) Polygon {
+	return Polygon{Ring: []geom.Point{
+		{X: r.XL, Y: r.YL}, {X: r.XU, Y: r.YL}, {X: r.XU, Y: r.YU}, {X: r.XL, Y: r.YU},
+	}}
+}
+
+// Edges returns the number of edges (equal to the number of vertices).
+func (p Polygon) Edges() int { return len(p.Ring) }
+
+// Edge returns the i-th edge.
+func (p Polygon) Edge(i int) Segment {
+	return Segment{A: p.Ring[i], B: p.Ring[(i+1)%len(p.Ring)]}
+}
+
+// MBR returns the minimum bounding rectangle of the polygon.
+func (p Polygon) MBR() geom.Rect { return geom.RectFromPoints(p.Ring) }
+
+// Area returns the unsigned area of the polygon (shoelace formula).
+func (p Polygon) Area() float64 {
+	var sum float64
+	n := len(p.Ring)
+	for i := 0; i < n; i++ {
+		a, b := p.Ring[i], p.Ring[(i+1)%n]
+		sum += a.X*b.Y - b.X*a.Y
+	}
+	return math.Abs(sum) / 2
+}
+
+// ContainsPoint reports whether the point lies inside the polygon or on its
+// boundary (ray casting with an explicit boundary check).
+func (p Polygon) ContainsPoint(pt geom.Point) bool {
+	n := len(p.Ring)
+	for i := 0; i < n; i++ {
+		if p.Edge(i).containsPoint(pt) {
+			return true
+		}
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		a, b := p.Ring[i], p.Ring[j]
+		if (a.Y > pt.Y) != (b.Y > pt.Y) {
+			x := (b.X-a.X)*(pt.Y-a.Y)/(b.Y-a.Y) + a.X
+			if pt.X < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Segment is a straight line segment between two points.
+type Segment struct {
+	A, B geom.Point
+}
+
+// MBR returns the bounding rectangle of the segment.
+func (s Segment) MBR() geom.Rect { return geom.RectFromPoints([]geom.Point{s.A, s.B}) }
+
+// cross returns the z-component of (b-a) x (c-a).
+func cross(a, b, c geom.Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// containsPoint reports whether pt lies on the segment.
+func (s Segment) containsPoint(pt geom.Point) bool {
+	if math.Abs(cross(s.A, s.B, pt)) > eps {
+		return false
+	}
+	return pt.X >= math.Min(s.A.X, s.B.X)-eps && pt.X <= math.Max(s.A.X, s.B.X)+eps &&
+		pt.Y >= math.Min(s.A.Y, s.B.Y)-eps && pt.Y <= math.Max(s.A.Y, s.B.Y)+eps
+}
+
+// Intersects reports whether the two segments share at least one point.
+func (s Segment) Intersects(t Segment) bool {
+	d1 := cross(t.A, t.B, s.A)
+	d2 := cross(t.A, t.B, s.B)
+	d3 := cross(s.A, s.B, t.A)
+	d4 := cross(s.A, s.B, t.B)
+	if ((d1 > eps && d2 < -eps) || (d1 < -eps && d2 > eps)) &&
+		((d3 > eps && d4 < -eps) || (d3 < -eps && d4 > eps)) {
+		return true
+	}
+	// Collinear or touching cases.
+	if math.Abs(d1) <= eps && t.containsPoint(s.A) {
+		return true
+	}
+	if math.Abs(d2) <= eps && t.containsPoint(s.B) {
+		return true
+	}
+	if math.Abs(d3) <= eps && s.containsPoint(t.A) {
+		return true
+	}
+	if math.Abs(d4) <= eps && s.containsPoint(t.B) {
+		return true
+	}
+	return false
+}
+
+// Intersection returns an intersection point of the two segments and whether
+// one exists.  For collinear overlapping segments one representative point of
+// the shared part is returned.
+func (s Segment) Intersection(t Segment) (geom.Point, bool) {
+	if !s.Intersects(t) {
+		return geom.Point{}, false
+	}
+	d := (s.B.X-s.A.X)*(t.B.Y-t.A.Y) - (s.B.Y-s.A.Y)*(t.B.X-t.A.X)
+	if math.Abs(d) <= eps {
+		// Collinear: return an endpoint that lies on the other segment.
+		for _, cand := range []geom.Point{s.A, s.B, t.A, t.B} {
+			if s.containsPoint(cand) && t.containsPoint(cand) {
+				return cand, true
+			}
+		}
+		return geom.Point{}, false
+	}
+	u := ((t.A.X-s.A.X)*(t.B.Y-t.A.Y) - (t.A.Y-s.A.Y)*(t.B.X-t.A.X)) / d
+	return geom.Point{X: s.A.X + u*(s.B.X-s.A.X), Y: s.A.Y + u*(s.B.Y-s.A.Y)}, true
+}
+
+// Geometry is the interface implemented by the exact spatial types used in
+// the refinement step.
+type Geometry interface {
+	// MBR returns the geometry's minimum bounding rectangle.
+	MBR() geom.Rect
+	// IntersectsGeometry reports whether the geometry intersects other.
+	IntersectsGeometry(other Geometry) bool
+}
+
+// IntersectsGeometry implements Geometry for polylines.
+func (p Polyline) IntersectsGeometry(other Geometry) bool {
+	switch o := other.(type) {
+	case Polyline:
+		return polylinesIntersect(p, o)
+	case Polygon:
+		return polylinePolygonIntersect(p, o)
+	default:
+		return false
+	}
+}
+
+// IntersectsGeometry implements Geometry for polygons.
+func (p Polygon) IntersectsGeometry(other Geometry) bool {
+	switch o := other.(type) {
+	case Polyline:
+		return polylinePolygonIntersect(o, p)
+	case Polygon:
+		return polygonsIntersect(p, o)
+	default:
+		return false
+	}
+}
+
+func polylinesIntersect(a, b Polyline) bool {
+	for i := 0; i < a.Segments(); i++ {
+		sa := a.Segment(i)
+		bbA := sa.MBR()
+		for j := 0; j < b.Segments(); j++ {
+			sb := b.Segment(j)
+			if !bbA.Intersects(sb.MBR()) {
+				continue
+			}
+			if sa.Intersects(sb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func polylinePolygonIntersect(l Polyline, p Polygon) bool {
+	// A polyline intersects a polygon if any segment crosses an edge or any
+	// vertex of the polyline lies inside the polygon.
+	for i := 0; i < l.Segments(); i++ {
+		sl := l.Segment(i)
+		for j := 0; j < p.Edges(); j++ {
+			if sl.Intersects(p.Edge(j)) {
+				return true
+			}
+		}
+	}
+	for _, pt := range l.Points {
+		if p.ContainsPoint(pt) {
+			return true
+		}
+	}
+	return false
+}
+
+func polygonsIntersect(a, b Polygon) bool {
+	for i := 0; i < a.Edges(); i++ {
+		ea := a.Edge(i)
+		for j := 0; j < b.Edges(); j++ {
+			if ea.Intersects(b.Edge(j)) {
+				return true
+			}
+		}
+	}
+	// One polygon may completely contain the other.
+	return a.ContainsPoint(b.Ring[0]) || b.ContainsPoint(a.Ring[0])
+}
+
+// IntersectionPoints returns the intersection points between two polylines,
+// in segment order.  The object-spatial-join reports them as the resulting
+// geometry of line/line joins.
+func IntersectionPoints(a, b Polyline) []geom.Point {
+	var out []geom.Point
+	for i := 0; i < a.Segments(); i++ {
+		sa := a.Segment(i)
+		bbA := sa.MBR()
+		for j := 0; j < b.Segments(); j++ {
+			sb := b.Segment(j)
+			if !bbA.Intersects(sb.MBR()) {
+				continue
+			}
+			if pt, ok := sa.Intersection(sb); ok {
+				out = append(out, pt)
+			}
+		}
+	}
+	return out
+}

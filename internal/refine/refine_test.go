@@ -1,0 +1,263 @@
+package refine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func pt(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
+
+func mustPolyline(t *testing.T, pts ...geom.Point) Polyline {
+	t.Helper()
+	p, err := NewPolyline(pts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustPolygon(t *testing.T, pts ...geom.Point) Polygon {
+	t.Helper()
+	p, err := NewPolygon(pts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewPolyline(pt(0, 0)); err == nil {
+		t.Error("polyline with one point must be rejected")
+	}
+	if _, err := NewPolygon(pt(0, 0), pt(1, 1)); err == nil {
+		t.Error("polygon with two vertices must be rejected")
+	}
+	if _, err := NewPolyline(pt(0, 0), pt(1, 1)); err != nil {
+		t.Errorf("valid polyline rejected: %v", err)
+	}
+	if _, err := NewPolygon(pt(0, 0), pt(1, 0), pt(0, 1)); err != nil {
+		t.Errorf("valid polygon rejected: %v", err)
+	}
+}
+
+func TestPolylineBasics(t *testing.T) {
+	p := mustPolyline(t, pt(0, 0), pt(3, 0), pt(3, 4))
+	if p.Segments() != 2 {
+		t.Errorf("Segments = %d", p.Segments())
+	}
+	if got := p.Length(); math.Abs(got-7) > 1e-12 {
+		t.Errorf("Length = %g, want 7", got)
+	}
+	if got := p.MBR(); got != (geom.Rect{XL: 0, YL: 0, XU: 3, YU: 4}) {
+		t.Errorf("MBR = %v", got)
+	}
+	if got := p.Segment(1); got.A != pt(3, 0) || got.B != pt(3, 4) {
+		t.Errorf("Segment(1) = %v", got)
+	}
+	if (Polyline{}).Segments() != 0 {
+		t.Error("empty polyline must have no segments")
+	}
+}
+
+func TestPolygonBasics(t *testing.T) {
+	square := mustPolygon(t, pt(0, 0), pt(2, 0), pt(2, 2), pt(0, 2))
+	if square.Edges() != 4 {
+		t.Errorf("Edges = %d", square.Edges())
+	}
+	if got := square.Area(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Area = %g, want 4", got)
+	}
+	if got := square.MBR(); got != (geom.Rect{XL: 0, YL: 0, XU: 2, YU: 2}) {
+		t.Errorf("MBR = %v", got)
+	}
+	if !square.ContainsPoint(pt(1, 1)) {
+		t.Error("interior point must be contained")
+	}
+	if !square.ContainsPoint(pt(0, 1)) {
+		t.Error("boundary point must be contained")
+	}
+	if !square.ContainsPoint(pt(2, 2)) {
+		t.Error("corner must be contained")
+	}
+	if square.ContainsPoint(pt(3, 1)) {
+		t.Error("outside point must not be contained")
+	}
+	rp := RectPolygon(geom.Rect{XL: 1, YL: 1, XU: 4, YU: 3})
+	if got := rp.Area(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("RectPolygon area = %g, want 6", got)
+	}
+}
+
+func TestConcavePolygonContainment(t *testing.T) {
+	// A "U" shaped concave polygon: the notch must not be contained.
+	u := mustPolygon(t,
+		pt(0, 0), pt(3, 0), pt(3, 3), pt(2, 3), pt(2, 1), pt(1, 1), pt(1, 3), pt(0, 3))
+	if !u.ContainsPoint(pt(0.5, 2)) {
+		t.Error("left arm must be inside")
+	}
+	if !u.ContainsPoint(pt(2.5, 2)) {
+		t.Error("right arm must be inside")
+	}
+	if u.ContainsPoint(pt(1.5, 2)) {
+		t.Error("the notch must be outside")
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		s, t Segment
+		want bool
+	}{
+		{"crossing", Segment{pt(0, 0), pt(2, 2)}, Segment{pt(0, 2), pt(2, 0)}, true},
+		{"touching endpoint", Segment{pt(0, 0), pt(1, 1)}, Segment{pt(1, 1), pt(2, 0)}, true},
+		{"T touch", Segment{pt(0, 0), pt(2, 0)}, Segment{pt(1, 0), pt(1, 1)}, true},
+		{"collinear overlap", Segment{pt(0, 0), pt(2, 0)}, Segment{pt(1, 0), pt(3, 0)}, true},
+		{"collinear disjoint", Segment{pt(0, 0), pt(1, 0)}, Segment{pt(2, 0), pt(3, 0)}, false},
+		{"parallel", Segment{pt(0, 0), pt(1, 0)}, Segment{pt(0, 1), pt(1, 1)}, false},
+		{"disjoint", Segment{pt(0, 0), pt(1, 1)}, Segment{pt(2, 2), pt(3, 3)}, false},
+		{"near miss", Segment{pt(0, 0), pt(1, 0)}, Segment{pt(0.5, 0.001), pt(1, 1)}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Intersects(tt.t); got != tt.want {
+			t.Errorf("%s: Intersects = %v, want %v", tt.name, got, tt.want)
+		}
+		if got := tt.t.Intersects(tt.s); got != tt.want {
+			t.Errorf("%s (swapped): Intersects = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestSegmentIntersectionPoint(t *testing.T) {
+	s := Segment{pt(0, 0), pt(2, 2)}
+	u := Segment{pt(0, 2), pt(2, 0)}
+	p, ok := s.Intersection(u)
+	if !ok || math.Abs(p.X-1) > 1e-12 || math.Abs(p.Y-1) > 1e-12 {
+		t.Fatalf("Intersection = %v, %v", p, ok)
+	}
+	if _, ok := s.Intersection(Segment{pt(5, 5), pt(6, 6)}); ok {
+		t.Fatal("disjoint segments must not intersect")
+	}
+	// Collinear overlap returns a point of the shared part.
+	a := Segment{pt(0, 0), pt(2, 0)}
+	b := Segment{pt(1, 0), pt(3, 0)}
+	p, ok = a.Intersection(b)
+	if !ok || !a.containsPoint(p) || !b.containsPoint(p) {
+		t.Fatalf("collinear Intersection = %v, %v", p, ok)
+	}
+}
+
+func TestPolylinePolylineIntersection(t *testing.T) {
+	a := mustPolyline(t, pt(0, 0), pt(1, 1), pt(2, 0))
+	b := mustPolyline(t, pt(0, 1), pt(2, 1)) // passes through a's apex (1,1)
+	c := mustPolyline(t, pt(0, 2), pt(2, 2)) // strictly above a
+	if !a.IntersectsGeometry(b) || !b.IntersectsGeometry(a) {
+		t.Error("a and b touch at the apex (1,1) and must intersect")
+	}
+	if a.IntersectsGeometry(c) || c.IntersectsGeometry(a) {
+		t.Error("a and c must not intersect")
+	}
+}
+
+func TestPolylineIntersectionsExplicit(t *testing.T) {
+	// A zig-zag crossing a horizontal line twice.
+	zig := mustPolyline(t, pt(0, 0), pt(1, 2), pt(2, 0))
+	horiz := mustPolyline(t, pt(-1, 1), pt(3, 1))
+	if !zig.IntersectsGeometry(horiz) || !horiz.IntersectsGeometry(zig) {
+		t.Fatal("expected intersection")
+	}
+	pts := IntersectionPoints(zig, horiz)
+	if len(pts) != 2 {
+		t.Fatalf("expected 2 intersection points, got %v", pts)
+	}
+	for _, p := range pts {
+		if math.Abs(p.Y-1) > 1e-9 {
+			t.Fatalf("intersection point %v not on the horizontal line", p)
+		}
+	}
+	far := mustPolyline(t, pt(10, 10), pt(11, 11))
+	if zig.IntersectsGeometry(far) {
+		t.Fatal("distant polylines must not intersect")
+	}
+	if got := IntersectionPoints(zig, far); len(got) != 0 {
+		t.Fatalf("expected no intersection points, got %v", got)
+	}
+}
+
+func TestPolylinePolygonIntersection(t *testing.T) {
+	square := mustPolygon(t, pt(0, 0), pt(2, 0), pt(2, 2), pt(0, 2))
+	crossing := mustPolyline(t, pt(-1, 1), pt(3, 1))
+	inside := mustPolyline(t, pt(0.5, 0.5), pt(1.5, 1.5))
+	outside := mustPolyline(t, pt(3, 3), pt(4, 4))
+	if !crossing.IntersectsGeometry(square) || !square.IntersectsGeometry(crossing) {
+		t.Error("crossing polyline must intersect the square")
+	}
+	if !inside.IntersectsGeometry(square) {
+		t.Error("fully contained polyline must intersect the square")
+	}
+	if outside.IntersectsGeometry(square) || square.IntersectsGeometry(outside) {
+		t.Error("outside polyline must not intersect the square")
+	}
+}
+
+func TestPolygonPolygonIntersection(t *testing.T) {
+	a := mustPolygon(t, pt(0, 0), pt(2, 0), pt(2, 2), pt(0, 2))
+	b := mustPolygon(t, pt(1, 1), pt(3, 1), pt(3, 3), pt(1, 3))
+	c := mustPolygon(t, pt(5, 5), pt(6, 5), pt(6, 6), pt(5, 6))
+	nested := mustPolygon(t, pt(0.5, 0.5), pt(1.5, 0.5), pt(1.5, 1.5), pt(0.5, 1.5))
+	if !a.IntersectsGeometry(b) || !b.IntersectsGeometry(a) {
+		t.Error("overlapping polygons must intersect")
+	}
+	if a.IntersectsGeometry(c) {
+		t.Error("distant polygons must not intersect")
+	}
+	if !a.IntersectsGeometry(nested) || !nested.IntersectsGeometry(a) {
+		t.Error("nested polygons must intersect")
+	}
+}
+
+func TestGeometryInterfaceUnknownType(t *testing.T) {
+	square := mustPolygon(t, pt(0, 0), pt(1, 0), pt(1, 1))
+	line := mustPolyline(t, pt(0, 0), pt(1, 1))
+	if square.IntersectsGeometry(nil) || line.IntersectsGeometry(nil) {
+		t.Error("nil geometry must not intersect")
+	}
+}
+
+// Property: the MBR filter is sound — whenever the exact geometries
+// intersect, their MBRs intersect too (the converse produces the false hits
+// that the refinement step removes).
+func TestFilterStepSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	randomPolyline := func() Polyline {
+		x, y := rng.Float64(), rng.Float64()
+		pts := []geom.Point{{X: x, Y: y}}
+		for i := 0; i < 3; i++ {
+			x += (rng.Float64() - 0.5) * 0.2
+			y += (rng.Float64() - 0.5) * 0.2
+			pts = append(pts, geom.Point{X: x, Y: y})
+		}
+		return Polyline{Points: pts}
+	}
+	exact, filtered := 0, 0
+	for i := 0; i < 2000; i++ {
+		a, b := randomPolyline(), randomPolyline()
+		mbrHit := a.MBR().Intersects(b.MBR())
+		exactHit := a.IntersectsGeometry(b)
+		if exactHit {
+			exact++
+			if !mbrHit {
+				t.Fatalf("exact intersection without MBR intersection: %v %v", a, b)
+			}
+		}
+		if mbrHit {
+			filtered++
+		}
+	}
+	if exact == 0 || filtered <= exact {
+		t.Fatalf("test data degenerate: %d exact hits, %d filter hits", exact, filtered)
+	}
+}

@@ -1,0 +1,200 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/zorder"
+)
+
+// BulkLoadFill is the target node fill used by the bulk loaders.  Packing
+// nodes completely full makes every subsequent insertion split; 90% leaves
+// headroom while still producing far fewer pages than dynamic insertion.
+const BulkLoadFill = 0.90
+
+// BulkLoadSTR builds a tree from the given items with the Sort-Tile-Recursive
+// packing algorithm: items are sorted by the x-coordinate of their centres,
+// cut into vertical slices, each slice is sorted by y and cut into nodes.
+// The same procedure packs the directory levels.
+//
+// Bulk loading is an extension beyond the paper (the paper builds its trees
+// by dynamic insertion); it is provided because packed trees are a common
+// baseline and the experiment harness uses it to build very large trees
+// quickly.  The resulting tree answers queries and participates in joins
+// exactly like a dynamically built one.
+func BulkLoadSTR(opts Options, items []Item) (*Tree, error) {
+	t, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return t, nil
+	}
+	entries := make([]Entry, len(items))
+	for i, it := range items {
+		entries[i] = Entry{Rect: it.Rect, Data: it.Data}
+	}
+	perNode := targetFill(t.maxEnt)
+
+	level := 0
+	for {
+		nodes := packSTR(t, entries, level, perNode)
+		if len(nodes) == 1 {
+			t.root = nodes[0]
+			t.height = level + 1
+			t.size = len(items)
+			return t, nil
+		}
+		// Build directory entries over the nodes just produced and pack the
+		// next level.
+		entries = make([]Entry, len(nodes))
+		for i, n := range nodes {
+			entries[i] = Entry{Rect: n.MBR(), Child: n}
+		}
+		level++
+	}
+}
+
+// BulkLoadHilbert builds a tree by sorting the items along the Hilbert curve
+// of their centres and packing consecutive runs into nodes, level by level.
+func BulkLoadHilbert(opts Options, items []Item) (*Tree, error) {
+	t, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return t, nil
+	}
+	world := items[0].Rect
+	for _, it := range items[1:] {
+		world = world.Union(it.Rect)
+	}
+	entries := make([]Entry, len(items))
+	for i, it := range items {
+		entries[i] = Entry{Rect: it.Rect, Data: it.Data}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return zorder.HilbertKey(entries[i].Rect.Center(), world) <
+			zorder.HilbertKey(entries[j].Rect.Center(), world)
+	})
+	perNode := targetFill(t.maxEnt)
+
+	level := 0
+	for {
+		nodes := packRuns(t, entries, level, perNode)
+		if len(nodes) == 1 {
+			t.root = nodes[0]
+			t.height = level + 1
+			t.size = len(items)
+			return t, nil
+		}
+		entries = make([]Entry, len(nodes))
+		for i, n := range nodes {
+			entries[i] = Entry{Rect: n.MBR(), Child: n}
+		}
+		// Directory entries are already in curve order because their children
+		// were packed from a curve-ordered sequence.
+		level++
+	}
+}
+
+// targetFill returns the number of entries packed per node.
+func targetFill(capacity int) int {
+	per := int(float64(capacity) * BulkLoadFill)
+	if per < 2 {
+		per = 2
+	}
+	if per > capacity {
+		per = capacity
+	}
+	return per
+}
+
+// packSTR packs entries into nodes of the given level using Sort-Tile-
+// Recursive tiling.
+func packSTR(t *Tree, entries []Entry, level, perNode int) []*Node {
+	n := len(entries)
+	nodeCount := (n + perNode - 1) / perNode
+	sliceCount := int(math.Ceil(math.Sqrt(float64(nodeCount))))
+	perSlice := sliceCount * perNode
+
+	sorted := make([]Entry, n)
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Rect.Center().X < sorted[j].Rect.Center().X
+	})
+
+	var nodes []*Node
+	for start := 0; start < n; start += perSlice {
+		end := start + perSlice
+		if end > n {
+			end = n
+		}
+		slice := sorted[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].Rect.Center().Y < slice[j].Rect.Center().Y
+		})
+		nodes = append(nodes, packRuns(t, slice, level, perNode)...)
+	}
+	rebalanceTail(t, nodes)
+	return nodes
+}
+
+// rebalanceTail fixes up a possible underfilled final node produced by the
+// last (short) slice by borrowing entries from its predecessor.
+func rebalanceTail(t *Tree, nodes []*Node) {
+	if len(nodes) < 2 {
+		return
+	}
+	last := nodes[len(nodes)-1]
+	prev := nodes[len(nodes)-2]
+	if deficit := t.minEnt - len(last.Entries); deficit > 0 && len(prev.Entries)-deficit >= t.minEnt {
+		cut := len(prev.Entries) - deficit
+		moved := append([]Entry(nil), prev.Entries[cut:]...)
+		prev.Entries = prev.Entries[:cut]
+		last.Entries = append(moved, last.Entries...)
+	}
+}
+
+// packRuns packs consecutive runs of entries into nodes of the given level.
+// If the final run would fall below the minimum fill m, entries are shifted
+// from the previous node so that both satisfy the R-tree fill invariant.
+func packRuns(t *Tree, entries []Entry, level, perNode int) []*Node {
+	var nodes []*Node
+	for start := 0; start < len(entries); start += perNode {
+		end := start + perNode
+		if end > len(entries) {
+			end = len(entries)
+		}
+		node := t.newNode(level)
+		node.Entries = append(node.Entries, entries[start:end]...)
+		nodes = append(nodes, node)
+	}
+	if len(nodes) >= 2 {
+		last := nodes[len(nodes)-1]
+		prev := nodes[len(nodes)-2]
+		if deficit := t.minEnt - len(last.Entries); deficit > 0 && len(prev.Entries)-deficit >= t.minEnt {
+			cut := len(prev.Entries) - deficit
+			moved := append([]Entry(nil), prev.Entries[cut:]...)
+			prev.Entries = prev.Entries[:cut]
+			last.Entries = append(moved, last.Entries...)
+		}
+	}
+	return nodes
+}
+
+// Build constructs a tree from items either by repeated insertion (the
+// paper's method) or by STR bulk loading when bulk is true.  It is a
+// convenience wrapper used by the experiment harness and the examples.
+func Build(opts Options, items []Item, bulk bool) (*Tree, error) {
+	if bulk {
+		return BulkLoadSTR(opts, items)
+	}
+	t, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	t.InsertItems(items)
+	return t, nil
+}
+

@@ -1,0 +1,73 @@
+package rtree
+
+import "repro/internal/geom"
+
+// Delete removes one data entry with exactly the given rectangle and object
+// identifier.  It reports whether such an entry was found.  Underflowing
+// nodes are dissolved and their entries re-inserted (Guttman's CondenseTree),
+// and the tree height shrinks when the root is left with a single child.
+func (t *Tree) Delete(rect geom.Rect, data int32) bool {
+	var orphans []pendingEntry
+	found := t.deleteRec(t.root, rect, data, &orphans)
+	if !found {
+		return false
+	}
+	t.size--
+
+	// Re-insert entries of dissolved nodes at their original level.  One
+	// "already re-inserted per level" record is shared across the whole
+	// delete so that forced re-insertion cannot ping-pong entries between two
+	// overflowing nodes indefinitely.
+	reinserted := make(map[int]bool)
+	for _, o := range orphans {
+		t.insertEntry(o.entry, o.level, reinserted)
+		for len(t.pending) > 0 {
+			p := t.pending[0]
+			t.pending = t.pending[1:]
+			t.insertEntry(p.entry, p.level, reinserted)
+		}
+	}
+
+	// Shrink the tree while the root is a directory node with one child.
+	for !t.root.IsLeaf() && len(t.root.Entries) == 1 {
+		t.root = t.root.Entries[0].Child
+		t.height--
+	}
+	return true
+}
+
+// deleteRec removes the entry from the subtree rooted at n.  Underflowing
+// children are removed from n and their entries appended to orphans.
+func (t *Tree) deleteRec(n *Node, rect geom.Rect, data int32, orphans *[]pendingEntry) bool {
+	if n.IsLeaf() {
+		for i, e := range n.Entries {
+			if e.Data == data && e.Rect.Equal(rect) {
+				n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.Entries {
+		if !n.Entries[i].Rect.Intersects(rect) {
+			continue
+		}
+		child := n.Entries[i].Child
+		if !t.deleteRec(child, rect, data, orphans) {
+			continue
+		}
+		if len(child.Entries) < t.minEnt && n != nil {
+			// Dissolve the underflowing child: remove its directory entry and
+			// queue its remaining entries for re-insertion at the child's
+			// level.
+			for _, ce := range child.Entries {
+				*orphans = append(*orphans, pendingEntry{entry: ce, level: child.Level})
+			}
+			n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+		} else {
+			n.Entries[i].Rect = child.MBR()
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,207 @@
+package rtree
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Insert adds a data rectangle with the given object identifier to the tree.
+func (t *Tree) Insert(rect geom.Rect, data int32) {
+	t.size++
+	reinserted := make(map[int]bool)
+	t.insertEntry(Entry{Rect: rect, Data: data}, 0, reinserted)
+	// Forced re-insertion may have queued entries; process them until the
+	// queue drains.  Entries queued while draining reuse the same "one
+	// re-insertion per level per insert" bookkeeping, as in the R*-tree paper.
+	for len(t.pending) > 0 {
+		p := t.pending[0]
+		t.pending = t.pending[1:]
+		t.insertEntry(p.entry, p.level, reinserted)
+	}
+}
+
+// InsertItems inserts all items in order.
+func (t *Tree) InsertItems(items []Item) {
+	for _, it := range items {
+		t.Insert(it.Rect, it.Data)
+	}
+}
+
+// insertEntry inserts e at the given level (0 for data entries), growing the
+// tree if the root splits.
+func (t *Tree) insertEntry(e Entry, level int, reinserted map[int]bool) {
+	if level > t.root.Level {
+		// Can only happen if the tree shrank while re-insertions were queued;
+		// with level == root level the entry joins the root directly.
+		level = t.root.Level
+	}
+	split := t.insertRec(t.root, e, level, reinserted)
+	if split == nil {
+		return
+	}
+	// The root was split: grow the tree by one level.
+	oldRoot := t.root
+	newRoot := t.newNode(oldRoot.Level + 1)
+	newRoot.Entries = append(newRoot.Entries,
+		Entry{Rect: oldRoot.MBR(), Child: oldRoot},
+		*split,
+	)
+	t.root = newRoot
+	t.height++
+}
+
+// insertRec descends from n to the target level, inserts the entry and
+// resolves overflows bottom-up.  It returns a directory entry for a newly
+// created sibling if n itself was split.
+func (t *Tree) insertRec(n *Node, e Entry, level int, reinserted map[int]bool) *Entry {
+	if n.Level == level {
+		n.Entries = append(n.Entries, e)
+	} else {
+		idx := t.chooseSubtree(n, e.Rect)
+		child := n.Entries[idx].Child
+		split := t.insertRec(child, e, level, reinserted)
+		n.Entries[idx].Rect = child.MBR()
+		if split != nil {
+			n.Entries = append(n.Entries, *split)
+		}
+	}
+	if len(n.Entries) > t.maxEnt {
+		return t.overflow(n, reinserted)
+	}
+	return nil
+}
+
+// chooseSubtree returns the index of the entry of n whose subtree the new
+// rectangle should be inserted into.
+func (t *Tree) chooseSubtree(n *Node, r geom.Rect) int {
+	if t.opts.Variant == Quadratic || n.Level > 1 {
+		// Guttman's ChooseLeaf criterion, also used by the R*-tree for
+		// directory levels above the leaves: least area enlargement, ties
+		// broken by smallest area.
+		return leastEnlargement(n.Entries, r)
+	}
+	// R*-tree, children are leaves: minimise overlap enlargement.  For large
+	// capacities only the chooseSubtreeCandidates entries with the least area
+	// enlargement are examined (the R*-tree paper's optimisation).
+	candidates := candidateIndexes(n.Entries, r)
+	best := candidates[0]
+	bestOverlap := overlapEnlargement(n.Entries, best, r)
+	bestEnlarge := n.Entries[best].Rect.Enlargement(r)
+	bestArea := n.Entries[best].Rect.Area()
+	for _, i := range candidates[1:] {
+		o := overlapEnlargement(n.Entries, i, r)
+		enl := n.Entries[i].Rect.Enlargement(r)
+		area := n.Entries[i].Rect.Area()
+		if o < bestOverlap ||
+			(o == bestOverlap && enl < bestEnlarge) ||
+			(o == bestOverlap && enl == bestEnlarge && area < bestArea) {
+			best, bestOverlap, bestEnlarge, bestArea = i, o, enl, area
+		}
+	}
+	return best
+}
+
+// leastEnlargement returns the index of the entry needing the least area
+// enlargement to include r, ties broken by smallest area.
+func leastEnlargement(entries []Entry, r geom.Rect) int {
+	best := 0
+	bestEnlarge := entries[0].Rect.Enlargement(r)
+	bestArea := entries[0].Rect.Area()
+	for i := 1; i < len(entries); i++ {
+		enl := entries[i].Rect.Enlargement(r)
+		area := entries[i].Rect.Area()
+		if enl < bestEnlarge || (enl == bestEnlarge && area < bestArea) {
+			best, bestEnlarge, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// candidateIndexes returns the indexes of the entries to examine for the
+// overlap-minimising ChooseSubtree: all of them for small nodes, otherwise
+// the chooseSubtreeCandidates entries with the least area enlargement.
+func candidateIndexes(entries []Entry, r geom.Rect) []int {
+	idx := make([]int, len(entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	if len(entries) <= chooseSubtreeCandidates {
+		return idx
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return entries[idx[a]].Rect.Enlargement(r) < entries[idx[b]].Rect.Enlargement(r)
+	})
+	return idx[:chooseSubtreeCandidates]
+}
+
+// overlapEnlargement returns the increase of the overlap between entry i and
+// its siblings if entry i's rectangle is enlarged to include r.
+func overlapEnlargement(entries []Entry, i int, r geom.Rect) float64 {
+	enlarged := entries[i].Rect.Union(r)
+	var delta float64
+	for j := range entries {
+		if j == i {
+			continue
+		}
+		delta += enlarged.IntersectionArea(entries[j].Rect) -
+			entries[i].Rect.IntersectionArea(entries[j].Rect)
+	}
+	return delta
+}
+
+// overflow resolves a node that exceeds the capacity M: the R*-tree removes a
+// fraction of the entries for re-insertion the first time a level overflows
+// during one insertion, otherwise (and always for the root and the Quadratic
+// variant) the node is split.
+func (t *Tree) overflow(n *Node, reinserted map[int]bool) *Entry {
+	if t.opts.Variant == RStar && n != t.root && !reinserted[n.Level] && t.opts.ReinsertFraction > 0 {
+		reinserted[n.Level] = true
+		if t.forcedReinsert(n) {
+			return nil
+		}
+	}
+	return t.splitNode(n)
+}
+
+// forcedReinsert removes the ReinsertFraction of the node's entries whose
+// rectangle centres are farthest from the centre of the node's MBR and queues
+// them for re-insertion at the node's level ("close reinsert": the removed
+// entries are re-inserted starting with the one closest to the centre).
+// It reports whether any entries were removed; if not, the caller must split.
+func (t *Tree) forcedReinsert(n *Node) bool {
+	p := int(float64(len(n.Entries)) * t.opts.ReinsertFraction)
+	if p < 1 {
+		p = 1
+	}
+	if p > len(n.Entries)-t.minEnt {
+		p = len(n.Entries) - t.minEnt
+	}
+	if p < 1 {
+		// Cannot remove anything without underflowing the node; the caller
+		// falls back to a split.  This only happens for tiny capacities.
+		return false
+	}
+	center := n.MBR().Center()
+	type distEntry struct {
+		dist float64
+		e    Entry
+	}
+	dists := make([]distEntry, len(n.Entries))
+	for i, e := range n.Entries {
+		dists[i] = distEntry{dist: e.Rect.Center().Distance(center), e: e}
+	}
+	sort.Slice(dists, func(i, j int) bool { return dists[i].dist > dists[j].dist })
+
+	removed := dists[:p]
+	n.Entries = n.Entries[:0]
+	for _, d := range dists[p:] {
+		n.Entries = append(n.Entries, d.e)
+	}
+	// Close reinsert: queue the removed entries ordered by increasing
+	// distance from the centre.
+	for i := len(removed) - 1; i >= 0; i-- {
+		t.pending = append(t.pending, pendingEntry{entry: removed[i].e, level: n.Level})
+	}
+	return true
+}

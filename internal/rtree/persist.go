@@ -1,0 +1,103 @@
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Save serialises every node of the tree into the given page file using the
+// on-disk layout of internal/storage and returns the page identifier of the
+// root.  Directory entries reference their child's page identifier; data
+// entries carry the object identifier.
+//
+// Save demonstrates that every node fits its page; it returns an error
+// otherwise, which would indicate a capacity-accounting bug.
+func (t *Tree) Save(f *storage.PageFile) (storage.PageID, error) {
+	if f.PageSize() != t.opts.PageSize {
+		return storage.InvalidPage, fmt.Errorf("rtree: page file size %d does not match tree page size %d",
+			f.PageSize(), t.opts.PageSize)
+	}
+	// Allocate page ids in the target file for every node first so that
+	// directory entries can reference children.
+	ids := make(map[*Node]storage.PageID)
+	t.Walk(func(n *Node) { ids[n] = f.Allocate() })
+
+	var saveErr error
+	t.Walk(func(n *Node) {
+		if saveErr != nil {
+			return
+		}
+		dn := storage.DiskNode{Level: uint16(n.Level)}
+		for _, e := range n.Entries {
+			ref := uint32(e.Data)
+			if e.Child != nil {
+				ref = uint32(ids[e.Child])
+			}
+			dn.Entries = append(dn.Entries, storage.DiskEntry{Rect: e.Rect, Ref: ref})
+		}
+		buf, err := storage.EncodeNode(dn, t.opts.PageSize)
+		if err != nil {
+			saveErr = fmt.Errorf("rtree: encoding node %d: %w", n.ID, err)
+			return
+		}
+		if err := f.Write(ids[n], buf); err != nil {
+			saveErr = fmt.Errorf("rtree: writing node %d: %w", n.ID, err)
+		}
+	})
+	if saveErr != nil {
+		return storage.InvalidPage, saveErr
+	}
+	return ids[t.root], nil
+}
+
+// Load reconstructs a tree previously stored with Save.  opts must carry the
+// same page size the tree was saved with.
+func Load(f *storage.PageFile, root storage.PageID, opts Options) (*Tree, error) {
+	t, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	if f.PageSize() != t.opts.PageSize {
+		return nil, fmt.Errorf("rtree: page file size %d does not match options page size %d",
+			f.PageSize(), t.opts.PageSize)
+	}
+	node, size, err := t.loadNode(f, root)
+	if err != nil {
+		return nil, err
+	}
+	t.root = node
+	t.height = node.Level + 1
+	t.size = size
+	return t, nil
+}
+
+// loadNode reads the page with the given id, decodes it and recursively loads
+// its children.  It returns the node and the number of data entries below it.
+func (t *Tree) loadNode(f *storage.PageFile, id storage.PageID) (*Node, int, error) {
+	buf, err := f.Read(id)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rtree: reading page %d: %w", id, err)
+	}
+	dn, err := storage.DecodeNode(buf, t.opts.PageSize)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rtree: decoding page %d: %w", id, err)
+	}
+	n := t.newNode(int(dn.Level))
+	if dn.Level == 0 {
+		for _, de := range dn.Entries {
+			n.Entries = append(n.Entries, Entry{Rect: de.Rect, Data: int32(de.Ref)})
+		}
+		return n, len(n.Entries), nil
+	}
+	total := 0
+	for _, de := range dn.Entries {
+		child, sub, err := t.loadNode(f, storage.PageID(de.Ref))
+		if err != nil {
+			return nil, 0, err
+		}
+		n.Entries = append(n.Entries, Entry{Rect: de.Rect, Child: child})
+		total += sub
+	}
+	return n, total, nil
+}

@@ -1,0 +1,157 @@
+package rtree
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/geom"
+)
+
+// AccessNode charges one read of the node to the tracker (path buffer, LRU
+// buffer or disk).  A nil tracker is a no-op, so query code can be written
+// once for tracked and untracked execution.
+func (t *Tree) AccessNode(tr *buffer.Tracker, n *Node) {
+	if tr == nil {
+		return
+	}
+	tr.Access(t.id, n.Level, n.ID)
+}
+
+// Search reports every data entry whose rectangle intersects query to fn.
+// Returning false from fn stops the search early.  This is the window query
+// of section 2 (filter step only: it operates on MBRs).
+func (t *Tree) Search(query geom.Rect, fn func(Entry) bool) {
+	t.SearchTracked(query, nil, fn)
+}
+
+// SearchTracked is Search with I/O accounting: every node visited is charged
+// to the tracker, and the intersection tests are charged to the tracker's
+// metrics collector as join-condition comparisons.  A nil tracker disables
+// all accounting.
+func (t *Tree) SearchTracked(query geom.Rect, tr *buffer.Tracker, fn func(Entry) bool) {
+	t.AccessNode(tr, t.root)
+	t.searchNode(t.root, query, tr, fn)
+}
+
+func (t *Tree) searchNode(n *Node, query geom.Rect, tr *buffer.Tracker, fn func(Entry) bool) bool {
+	counter := trackerCounter(tr)
+	for i := range n.Entries {
+		e := n.Entries[i]
+		if !geom.IntersectsCounted(e.Rect, query, counter) {
+			continue
+		}
+		if n.IsLeaf() {
+			if !fn(e) {
+				return false
+			}
+			continue
+		}
+		t.AccessNode(tr, e.Child)
+		if !t.searchNode(e.Child, query, tr, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchSubtree runs a window query restricted to the subtree rooted at n.
+// The spatial join of trees with different heights uses it to evaluate the
+// data rectangles of the taller tree against a subtree of the shorter one
+// (section 4.4, policy (a)).
+func (t *Tree) SearchSubtree(n *Node, query geom.Rect, tr *buffer.Tracker, fn func(Entry) bool) {
+	t.searchNode(n, query, tr, fn)
+}
+
+// BatchSearchSubtree evaluates several window queries against the subtree
+// rooted at n in a single traversal: a child is descended into at most once
+// even if multiple query rectangles intersect it.  This implements policy (b)
+// of section 4.4, which guarantees that each page of the subtree is read only
+// once.  fn receives the index of the matching query rectangle and the data
+// entry.
+func (t *Tree) BatchSearchSubtree(n *Node, queries []geom.Rect, tr *buffer.Tracker, fn func(q int, e Entry)) {
+	if len(queries) == 0 {
+		return
+	}
+	t.batchSearch(n, queries, indexRange(len(queries)), tr, fn)
+}
+
+func indexRange(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// batchSearch visits the subtree once, narrowing the set of active query
+// rectangles as it descends.
+func (t *Tree) batchSearch(n *Node, queries []geom.Rect, active []int, tr *buffer.Tracker, fn func(q int, e Entry)) {
+	counter := trackerCounter(tr)
+	for i := range n.Entries {
+		e := n.Entries[i]
+		if n.IsLeaf() {
+			for _, q := range active {
+				if geom.IntersectsCounted(e.Rect, queries[q], counter) {
+					fn(q, e)
+				}
+			}
+			continue
+		}
+		var childActive []int
+		for _, q := range active {
+			if geom.IntersectsCounted(e.Rect, queries[q], counter) {
+				childActive = append(childActive, q)
+			}
+		}
+		if len(childActive) == 0 {
+			continue
+		}
+		t.AccessNode(tr, e.Child)
+		t.batchSearch(e.Child, queries, childActive, tr, fn)
+	}
+}
+
+// SearchPoint reports every data entry whose rectangle contains the point p.
+func (t *Tree) SearchPoint(p geom.Point, fn func(Entry) bool) {
+	t.Search(p.Rect(), fn)
+}
+
+// All reports every data entry of the tree to fn.  Returning false stops the
+// enumeration.
+func (t *Tree) All(fn func(Entry) bool) {
+	t.all(t.root, fn)
+}
+
+func (t *Tree) all(n *Node, fn func(Entry) bool) bool {
+	for _, e := range n.Entries {
+		if n.IsLeaf() {
+			if !fn(e) {
+				return false
+			}
+			continue
+		}
+		if !t.all(e.Child, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Items returns all data entries of the tree as items, in traversal order.
+func (t *Tree) Items() []Item {
+	items := make([]Item, 0, t.size)
+	t.All(func(e Entry) bool {
+		items = append(items, Item{Rect: e.Rect, Data: e.Data})
+		return true
+	})
+	return items
+}
+
+// trackerCounter returns the comparison counter behind the tracker, or nil.
+func trackerCounter(tr *buffer.Tracker) geom.ComparisonCounter {
+	if tr == nil {
+		return nil
+	}
+	if m := tr.Metrics(); m != nil {
+		return m
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+// Package rtree implements the R-tree family of spatial access methods used
+// by the paper: the R*-tree (Beckmann et al. 1990) with overlap-minimising
+// subtree choice, forced re-insertion and the margin-driven split, and the
+// original Guttman R-tree with quadratic split as a baseline variant.
+//
+// One node corresponds to one page of the simulated secondary storage
+// (internal/storage); the node capacity M is derived from the page size and
+// reproduces the capacities of the paper's Table 1.  Trees are built in
+// memory but carry page identifiers so that the join algorithms can charge
+// node accesses to a shared LRU buffer (internal/buffer.Tracker), which is
+// exactly the I/O model of the paper's experiments.
+package rtree
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// Variant selects the insertion and split strategy of the tree.
+type Variant int
+
+const (
+	// RStar is the R*-tree: overlap-minimising ChooseSubtree at the leaf
+	// level, forced re-insertion on overflow and the topological
+	// (margin/overlap driven) split.  This is the variant the paper uses.
+	RStar Variant = iota
+	// Quadratic is the original Guttman R-tree with quadratic split and
+	// area-driven ChooseLeaf.  It serves as an ablation baseline.
+	Quadratic
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case RStar:
+		return "R*-tree"
+	case Quadratic:
+		return "R-tree(quadratic)"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// DefaultReinsertFraction is the share p of entries removed from an
+// overflowing node for forced re-insertion; 30% is the value recommended by
+// the R*-tree paper.
+const DefaultReinsertFraction = 0.30
+
+// chooseSubtreeCandidates bounds the number of entries examined by the
+// overlap-minimising ChooseSubtree.  The R*-tree paper proposes examining
+// only the 32 entries with the least area enlargement when the node capacity
+// is large; this keeps insertion cost near-linear for 8 KByte pages.
+const chooseSubtreeCandidates = 32
+
+// Options configures a tree.
+type Options struct {
+	// PageSize is the size of one node page in bytes.  It determines the node
+	// capacity M = PageSize / storage.EntrySize.  Defaults to 4 KByte.
+	PageSize int
+	// Variant selects the insertion/split strategy.  Defaults to RStar.
+	Variant Variant
+	// MinFillPercent is the minimum node fill m expressed as a percentage of
+	// M.  Defaults to 40 (the R*-tree recommendation).  It is clamped so that
+	// 2 <= m <= M/2 as required by the R-tree definition.
+	MinFillPercent int
+	// ReinsertFraction is the share of entries re-inserted on overflow
+	// (R*-tree only).  Defaults to DefaultReinsertFraction.
+	ReinsertFraction float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = storage.PageSize4K
+	}
+	if o.MinFillPercent == 0 {
+		o.MinFillPercent = 40
+	}
+	if o.ReinsertFraction == 0 {
+		o.ReinsertFraction = DefaultReinsertFraction
+	}
+	return o
+}
+
+// Entry is one slot of a node: a rectangle plus either a child node
+// (directory entry) or an object identifier (data entry).
+type Entry struct {
+	// Rect is the minimum bounding rectangle of the child node's contents
+	// (directory entry) or of the referenced spatial object (data entry).
+	Rect geom.Rect
+	// Child is the child node for directory entries and nil for data entries.
+	Child *Node
+	// Data is the object identifier for data entries.
+	Data int32
+}
+
+// IsLeafEntry reports whether the entry references a spatial object rather
+// than a child node.
+func (e Entry) IsLeafEntry() bool { return e.Child == nil }
+
+// Node is one node of the tree and corresponds to exactly one page.
+type Node struct {
+	// ID is the page identifier of the node.
+	ID storage.PageID
+	// Level is the node's distance from the leaf level; leaves have level 0.
+	Level int
+	// Entries are the node's slots, between m and M for non-root nodes.
+	Entries []Entry
+}
+
+// IsLeaf reports whether the node is a leaf (level 0).
+func (n *Node) IsLeaf() bool { return n.Level == 0 }
+
+// MBR returns the minimum bounding rectangle of all entries of the node.
+// It panics on an empty node other than an empty tree root, which has no MBR.
+func (n *Node) MBR() geom.Rect {
+	if len(n.Entries) == 0 {
+		return geom.Rect{}
+	}
+	r := n.Entries[0].Rect
+	for _, e := range n.Entries[1:] {
+		r = r.Union(e.Rect)
+	}
+	return r
+}
+
+// Item is a data rectangle to be stored in a tree, used by bulk loading and
+// the data generators.
+type Item struct {
+	Rect geom.Rect
+	Data int32
+}
+
+// treeIDs hands out process-wide unique tree identifiers so that pages of
+// different trees can share one buffer without colliding.
+var treeIDs atomic.Int64
+
+// Tree is an R-tree or R*-tree over two-dimensional rectangles.
+//
+// A Tree is not safe for concurrent mutation; concurrent read-only queries
+// are safe once construction is complete.
+type Tree struct {
+	id      int
+	opts    Options
+	maxEnt  int // M
+	minEnt  int // m
+	root    *Node
+	height  int // number of levels; 1 while the root is a leaf
+	size    int // number of data entries
+	file    *storage.PageFile
+	pending []pendingEntry // forced re-insertion queue, valid during one Insert
+}
+
+type pendingEntry struct {
+	entry Entry
+	level int
+}
+
+// New creates an empty tree.
+func New(opts Options) (*Tree, error) {
+	opts = opts.withDefaults()
+	maxEnt := storage.CapacityForPage(opts.PageSize)
+	if maxEnt < 4 {
+		return nil, fmt.Errorf("rtree: page size %d holds only %d entries, need at least 4", opts.PageSize, maxEnt)
+	}
+	minEnt := maxEnt * opts.MinFillPercent / 100
+	if minEnt < 2 {
+		minEnt = 2
+	}
+	if minEnt > maxEnt/2 {
+		minEnt = maxEnt / 2
+	}
+	if opts.ReinsertFraction < 0 || opts.ReinsertFraction > 0.5 {
+		return nil, fmt.Errorf("rtree: reinsert fraction %g outside [0, 0.5]", opts.ReinsertFraction)
+	}
+	t := &Tree{
+		id:     int(treeIDs.Add(1)),
+		opts:   opts,
+		maxEnt: maxEnt,
+		minEnt: minEnt,
+		file:   storage.NewPageFile(opts.PageSize),
+		height: 1,
+	}
+	t.root = t.newNode(0)
+	return t, nil
+}
+
+// MustNew is like New but panics on error; intended for tests and examples
+// with known-good options.
+func MustNew(opts Options) *Tree {
+	t, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// newNode allocates a node with a fresh page identifier.
+func (t *Tree) newNode(level int) *Node {
+	return &Node{ID: t.file.Allocate(), Level: level}
+}
+
+// ID returns the process-wide unique identifier of the tree, used to
+// namespace its pages in a shared buffer.
+func (t *Tree) ID() int { return t.id }
+
+// Root returns the root node.  The root is a leaf while the tree holds at
+// most M entries.
+func (t *Tree) Root() *Node { return t.root }
+
+// Height returns the number of levels of the tree (1 for a single leaf).
+// This matches the "height" column of the paper's Table 1.
+func (t *Tree) Height() int { return t.height }
+
+// Len returns the number of data entries stored in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// MaxEntries returns the node capacity M.
+func (t *Tree) MaxEntries() int { return t.maxEnt }
+
+// MinEntries returns the minimum node fill m.
+func (t *Tree) MinEntries() int { return t.minEnt }
+
+// PageSize returns the page size in bytes of the tree's nodes.
+func (t *Tree) PageSize() int { return t.opts.PageSize }
+
+// Variant returns the tree's insertion/split strategy.
+func (t *Tree) Variant() Variant { return t.opts.Variant }
+
+// Options returns the options (with defaults applied) the tree was built
+// with.
+func (t *Tree) Options() Options { return t.opts }
+
+// Bounds returns the minimum bounding rectangle of all stored data
+// rectangles and false if the tree is empty.
+func (t *Tree) Bounds() (geom.Rect, bool) {
+	if t.size == 0 {
+		return geom.Rect{}, false
+	}
+	return t.root.MBR(), true
+}
+
+// Stats summarises the structure of a tree; it corresponds to one row of the
+// paper's Table 1.
+type Stats struct {
+	Height      int
+	DirPages    int // |R|dir: number of directory (non-leaf) pages
+	DataPages   int // |R|dat: number of data (leaf) pages
+	DirEntries  int // ||R||dir
+	DataEntries int // ||R||dat
+	Utilization float64
+}
+
+// TotalPages returns directory plus data pages (|R|).
+func (s Stats) TotalPages() int { return s.DirPages + s.DataPages }
+
+// Stats walks the tree and returns its structural statistics.
+func (t *Tree) Stats() Stats {
+	s := Stats{Height: t.height}
+	t.walk(t.root, func(n *Node) {
+		if n.IsLeaf() {
+			s.DataPages++
+			s.DataEntries += len(n.Entries)
+		} else {
+			s.DirPages++
+			s.DirEntries += len(n.Entries)
+		}
+	})
+	capTotal := s.DataPages * t.maxEnt
+	if capTotal > 0 {
+		s.Utilization = float64(s.DataEntries) / float64(capTotal)
+	}
+	return s
+}
+
+// walk visits every node in depth-first pre-order.
+func (t *Tree) walk(n *Node, fn func(*Node)) {
+	fn(n)
+	if n.IsLeaf() {
+		return
+	}
+	for _, e := range n.Entries {
+		t.walk(e.Child, fn)
+	}
+}
+
+// Walk visits every node of the tree in depth-first pre-order.  It is
+// exported for statistics, validation and persistence.
+func (t *Tree) Walk(fn func(*Node)) { t.walk(t.root, fn) }
+
+// String implements fmt.Stringer with a compact summary.
+func (t *Tree) String() string {
+	s := t.Stats()
+	return fmt.Sprintf("%s{pageSize=%d M=%d m=%d height=%d entries=%d dirPages=%d dataPages=%d}",
+		t.opts.Variant, t.opts.PageSize, t.maxEnt, t.minEnt, t.height, t.size, s.DirPages, s.DataPages)
+}

@@ -1,0 +1,221 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// splitNode splits an overflowing node into two, keeps the first group in n
+// and returns a directory entry referencing a newly allocated sibling holding
+// the second group.
+func (t *Tree) splitNode(n *Node) *Entry {
+	var groupA, groupB []Entry
+	if t.opts.Variant == Quadratic {
+		groupA, groupB = t.quadraticSplit(n.Entries)
+	} else {
+		groupA, groupB = t.rstarSplit(n.Entries)
+	}
+	sibling := t.newNode(n.Level)
+	n.Entries = groupA
+	sibling.Entries = groupB
+	return &Entry{Rect: sibling.MBR(), Child: sibling}
+}
+
+// rstarSplit implements the R*-tree split of section 3.2 of the paper: choose
+// the split axis by the minimum sum of margins over all candidate
+// distributions, then choose the distribution on that axis with the minimum
+// overlap between the two group MBRs (ties broken by minimum combined area).
+func (t *Tree) rstarSplit(entries []Entry) (groupA, groupB []Entry) {
+	m := t.minEnt
+	axis := chooseSplitAxis(entries, m)
+	sorted := sortedByAxis(entries, axis)
+	best := chooseSplitIndex(sorted, m)
+	return splitAt(sorted[best.sorting], best)
+}
+
+// axisSortings holds the entries of a node sorted by the lower and by the
+// upper corner of their rectangles along one axis.
+type axisSortings [2][]Entry
+
+// sortedByAxis returns the two sortings (by lower and by upper corner) of the
+// entries along the given axis (0 = x, 1 = y).
+func sortedByAxis(entries []Entry, axis int) axisSortings {
+	lower := make([]Entry, len(entries))
+	upper := make([]Entry, len(entries))
+	copy(lower, entries)
+	copy(upper, entries)
+	if axis == 0 {
+		sort.Slice(lower, func(i, j int) bool { return lower[i].Rect.XL < lower[j].Rect.XL })
+		sort.Slice(upper, func(i, j int) bool { return upper[i].Rect.XU < upper[j].Rect.XU })
+	} else {
+		sort.Slice(lower, func(i, j int) bool { return lower[i].Rect.YL < lower[j].Rect.YL })
+		sort.Slice(upper, func(i, j int) bool { return upper[i].Rect.YU < upper[j].Rect.YU })
+	}
+	return axisSortings{lower, upper}
+}
+
+// marginSum returns the sum of the margins of both group MBRs over all legal
+// distributions of one sorting.
+func marginSum(sorted []Entry, m int) float64 {
+	prefix, suffix := prefixSuffixMBRs(sorted)
+	var sum float64
+	for k := m; k <= len(sorted)-m; k++ {
+		sum += prefix[k-1].Margin() + suffix[k].Margin()
+	}
+	return sum
+}
+
+// chooseSplitAxis returns 0 (x) or 1 (y), whichever axis yields the smaller
+// total margin over all candidate distributions of both sortings.
+func chooseSplitAxis(entries []Entry, m int) int {
+	var sums [2]float64
+	for axis := 0; axis < 2; axis++ {
+		s := sortedByAxis(entries, axis)
+		sums[axis] = marginSum(s[0], m) + marginSum(s[1], m)
+	}
+	if sums[0] <= sums[1] {
+		return 0
+	}
+	return 1
+}
+
+// splitChoice identifies one candidate distribution: the sorting it comes
+// from (0 = by lower corner, 1 = by upper corner) and the size of the first
+// group.
+type splitChoice struct {
+	sorting int
+	k       int
+}
+
+// chooseSplitIndex picks the distribution with the least overlap between the
+// two group MBRs, ties broken by least combined area, over both sortings of
+// the chosen axis.
+func chooseSplitIndex(s axisSortings, m int) splitChoice {
+	best := splitChoice{sorting: 0, k: m}
+	bestOverlap := math.Inf(1)
+	bestArea := math.Inf(1)
+	for sorting := 0; sorting < 2; sorting++ {
+		sorted := s[sorting]
+		prefix, suffix := prefixSuffixMBRs(sorted)
+		for k := m; k <= len(sorted)-m; k++ {
+			a, b := prefix[k-1], suffix[k]
+			overlap := a.IntersectionArea(b)
+			area := a.Area() + b.Area()
+			if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+				best = splitChoice{sorting: sorting, k: k}
+				bestOverlap, bestArea = overlap, area
+			}
+		}
+	}
+	return best
+}
+
+// splitAt splits the given sorted slice at index k.  The second sorting is
+// resolved by the caller via chooseSplitIndex's sorting field; see rstarSplit.
+func splitAt(sorted []Entry, choice splitChoice) (groupA, groupB []Entry) {
+	groupA = append([]Entry(nil), sorted[:choice.k]...)
+	groupB = append([]Entry(nil), sorted[choice.k:]...)
+	return groupA, groupB
+}
+
+// prefixSuffixMBRs returns prefix[i] = MBR(sorted[0..i]) and
+// suffix[i] = MBR(sorted[i..]), allowing all distributions to be evaluated in
+// linear time.
+func prefixSuffixMBRs(sorted []Entry) (prefix, suffix []geom.Rect) {
+	n := len(sorted)
+	prefix = make([]geom.Rect, n)
+	suffix = make([]geom.Rect, n)
+	prefix[0] = sorted[0].Rect
+	for i := 1; i < n; i++ {
+		prefix[i] = prefix[i-1].Union(sorted[i].Rect)
+	}
+	suffix[n-1] = sorted[n-1].Rect
+	for i := n - 2; i >= 0; i-- {
+		suffix[i] = suffix[i+1].Union(sorted[i].Rect)
+	}
+	return prefix, suffix
+}
+
+// quadraticSplit implements Guttman's quadratic split: pick the pair of
+// entries that would waste the most area if placed together as seeds, then
+// repeatedly assign the entry with the greatest preference for one group.
+func (t *Tree) quadraticSplit(entries []Entry) (groupA, groupB []Entry) {
+	m := t.minEnt
+	seedA, seedB := pickSeeds(entries)
+	groupA = []Entry{entries[seedA]}
+	groupB = []Entry{entries[seedB]}
+	mbrA := entries[seedA].Rect
+	mbrB := entries[seedB].Rect
+
+	remaining := make([]Entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, e)
+		}
+	}
+
+	for len(remaining) > 0 {
+		// If one group must take all remaining entries to reach the minimum
+		// fill, assign them wholesale.
+		if len(groupA)+len(remaining) == m {
+			groupA = append(groupA, remaining...)
+			return groupA, groupB
+		}
+		if len(groupB)+len(remaining) == m {
+			groupB = append(groupB, remaining...)
+			return groupA, groupB
+		}
+		// PickNext: the entry with the maximum difference of enlargements.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range remaining {
+			dA := mbrA.Enlargement(e.Rect)
+			dB := mbrB.Enlargement(e.Rect)
+			diff := math.Abs(dA - dB)
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		dA := mbrA.Enlargement(e.Rect)
+		dB := mbrB.Enlargement(e.Rect)
+		switch {
+		case dA < dB:
+			groupA = append(groupA, e)
+			mbrA = mbrA.Union(e.Rect)
+		case dB < dA:
+			groupB = append(groupB, e)
+			mbrB = mbrB.Union(e.Rect)
+		case mbrA.Area() < mbrB.Area():
+			groupA = append(groupA, e)
+			mbrA = mbrA.Union(e.Rect)
+		case len(groupA) <= len(groupB) && mbrA.Area() == mbrB.Area():
+			groupA = append(groupA, e)
+			mbrA = mbrA.Union(e.Rect)
+		default:
+			groupB = append(groupB, e)
+			mbrB = mbrB.Union(e.Rect)
+		}
+	}
+	return groupA, groupB
+}
+
+// pickSeeds returns the indexes of the two entries that would waste the most
+// area if they were placed in the same group.
+func pickSeeds(entries []Entry) (int, int) {
+	seedA, seedB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			waste := entries[i].Rect.Union(entries[j].Rect).Area() -
+				entries[i].Rect.Area() - entries[j].Rect.Area()
+			if waste > worst {
+				worst = waste
+				seedA, seedB = i, j
+			}
+		}
+	}
+	return seedA, seedB
+}

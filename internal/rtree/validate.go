@@ -1,0 +1,79 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation errors.
+var (
+	ErrInvalidMBR     = errors.New("rtree: directory rectangle does not cover child")
+	ErrUnderflow      = errors.New("rtree: node below minimum fill")
+	ErrOverflow       = errors.New("rtree: node above capacity")
+	ErrUnbalanced     = errors.New("rtree: leaves at different depths")
+	ErrLevelMismatch  = errors.New("rtree: child level inconsistent")
+	ErrEntryCountDrop = errors.New("rtree: data entry count mismatch")
+	ErrRootInvalid    = errors.New("rtree: root violates minimum children requirement")
+)
+
+// CheckInvariants verifies the structural invariants of the R-tree definition
+// (section 3.1 of the paper):
+//
+//   - the root has at least two children unless it is a leaf,
+//   - every non-root node holds between m and M entries,
+//   - all leaves are at the same distance from the root,
+//   - every directory rectangle covers all rectangles of its child node
+//     (and is exactly the child's MBR),
+//   - the stored data-entry count matches the tree's size.
+//
+// It returns nil if the tree is structurally sound.
+func (t *Tree) CheckInvariants() error {
+	if !t.root.IsLeaf() && len(t.root.Entries) < 2 {
+		return fmt.Errorf("%w: %d children", ErrRootInvalid, len(t.root.Entries))
+	}
+	if t.root.Level != t.height-1 {
+		return fmt.Errorf("%w: root level %d, height %d", ErrLevelMismatch, t.root.Level, t.height)
+	}
+	count, err := t.checkNode(t.root, t.root.Level)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("%w: counted %d, size %d", ErrEntryCountDrop, count, t.size)
+	}
+	return nil
+}
+
+// checkNode validates the subtree rooted at n and returns the number of data
+// entries it holds.
+func (t *Tree) checkNode(n *Node, wantLevel int) (int, error) {
+	if n.Level != wantLevel {
+		return 0, fmt.Errorf("%w: node %d has level %d, want %d", ErrLevelMismatch, n.ID, n.Level, wantLevel)
+	}
+	if len(n.Entries) > t.maxEnt {
+		return 0, fmt.Errorf("%w: node %d holds %d > %d entries", ErrOverflow, n.ID, len(n.Entries), t.maxEnt)
+	}
+	if n != t.root && len(n.Entries) < t.minEnt {
+		return 0, fmt.Errorf("%w: node %d holds %d < %d entries", ErrUnderflow, n.ID, len(n.Entries), t.minEnt)
+	}
+	if n.IsLeaf() {
+		return len(n.Entries), nil
+	}
+	total := 0
+	for _, e := range n.Entries {
+		if e.Child == nil {
+			return 0, fmt.Errorf("%w: directory entry of node %d has no child", ErrLevelMismatch, n.ID)
+		}
+		childMBR := e.Child.MBR()
+		if !e.Rect.Contains(childMBR) {
+			return 0, fmt.Errorf("%w: node %d entry %v does not cover child MBR %v",
+				ErrInvalidMBR, n.ID, e.Rect, childMBR)
+		}
+		sub, err := t.checkNode(e.Child, wantLevel-1)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}

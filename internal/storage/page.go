@@ -1,0 +1,147 @@
+// Package storage models the secondary-storage layer underneath the R*-trees:
+// fixed-size pages, the on-disk layout of tree nodes and a simulated page
+// file.  One tree node corresponds to exactly one page, as in the paper
+// (section 3.1), and the node capacity M is derived from the page size and
+// the 20-byte entry layout, which reproduces the capacities of Table 1
+// (M = 51, 102, 204, 409 for 1, 2, 4 and 8 KByte pages).
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// PageID identifies a page (equivalently, a tree node).  IDs are unique
+// within a page file / tree; the buffer manager additionally namespaces them
+// by tree so that two trees joined together never collide.
+type PageID uint32
+
+// InvalidPage is the zero PageID; valid pages start at 1.
+const InvalidPage PageID = 0
+
+// Common page sizes studied in the paper's evaluation.
+const (
+	PageSize1K = 1 << 10
+	PageSize2K = 2 << 10
+	PageSize4K = 4 << 10
+	PageSize8K = 8 << 10
+)
+
+// EntrySize is the on-disk size of a single node entry: a rectangle stored as
+// four 32-bit floats plus a 32-bit reference (child page or object
+// identifier), 20 bytes in total.  This is the layout implied by the node
+// capacities reported in Table 1 of the paper.
+const EntrySize = 20
+
+// nodeHeaderSize is the fixed per-node header: level (uint16) and entry count
+// (uint16).  The header lives in the page frame in front of the entry
+// payload; the paper's capacity M counts only entry slots, so CapacityForPage
+// ignores the header (see the package documentation of internal/rtree for the
+// resulting physical page size).
+const nodeHeaderSize = 4
+
+// PageSizes lists the page sizes swept by the paper's experiments, in bytes.
+var PageSizes = []int{PageSize1K, PageSize2K, PageSize4K, PageSize8K}
+
+// CapacityForPage returns the maximum number of entries M that fit into a
+// page of the given size, matching Table 1 of the paper.
+func CapacityForPage(pageSize int) int {
+	if pageSize < EntrySize {
+		return 0
+	}
+	return pageSize / EntrySize
+}
+
+// MinEntriesFor returns the minimum node fill m used for a given capacity M.
+// The paper requires 2 <= m <= M/2; following the R*-tree paper we use
+// m = 40% of M, which the authors found to be the best overall setting.
+func MinEntriesFor(capacity int) int {
+	m := capacity * 40 / 100
+	if m < 2 {
+		m = 2
+	}
+	if m > capacity/2 {
+		m = capacity / 2
+	}
+	return m
+}
+
+// DiskEntry is the serialised form of one node entry.
+type DiskEntry struct {
+	Rect geom.Rect
+	Ref  uint32
+}
+
+// DiskNode is the serialised form of one tree node.
+type DiskNode struct {
+	Level   uint16
+	Entries []DiskEntry
+}
+
+// Errors returned by the encoding and page-file functions.
+var (
+	ErrPageOverflow  = errors.New("storage: node does not fit into page")
+	ErrCorruptPage   = errors.New("storage: corrupt page")
+	ErrUnknownPage   = errors.New("storage: unknown page id")
+	ErrPageSizeAgain = errors.New("storage: page size mismatch")
+)
+
+// EncodeNode serialises the node into a byte slice of exactly
+// nodeHeaderSize + capacity*EntrySize bytes, where capacity is derived from
+// pageSize.  Rectangle coordinates are stored as float32, as in the original
+// system; the loss of precision is irrelevant for MBRs of map data in unit
+// space.  It returns ErrPageOverflow if the node holds more entries than the
+// page capacity.
+func EncodeNode(n DiskNode, pageSize int) ([]byte, error) {
+	capacity := CapacityForPage(pageSize)
+	if len(n.Entries) > capacity {
+		return nil, fmt.Errorf("%w: %d entries, capacity %d", ErrPageOverflow, len(n.Entries), capacity)
+	}
+	buf := make([]byte, nodeHeaderSize+capacity*EntrySize)
+	binary.LittleEndian.PutUint16(buf[0:2], n.Level)
+	binary.LittleEndian.PutUint16(buf[2:4], uint16(len(n.Entries)))
+	off := nodeHeaderSize
+	for _, e := range n.Entries {
+		binary.LittleEndian.PutUint32(buf[off+0:], math.Float32bits(float32(e.Rect.XL)))
+		binary.LittleEndian.PutUint32(buf[off+4:], math.Float32bits(float32(e.Rect.YL)))
+		binary.LittleEndian.PutUint32(buf[off+8:], math.Float32bits(float32(e.Rect.XU)))
+		binary.LittleEndian.PutUint32(buf[off+12:], math.Float32bits(float32(e.Rect.YU)))
+		binary.LittleEndian.PutUint32(buf[off+16:], e.Ref)
+		off += EntrySize
+	}
+	return buf, nil
+}
+
+// DecodeNode deserialises a node previously produced by EncodeNode for the
+// same page size.
+func DecodeNode(buf []byte, pageSize int) (DiskNode, error) {
+	capacity := CapacityForPage(pageSize)
+	want := nodeHeaderSize + capacity*EntrySize
+	if len(buf) != want {
+		return DiskNode{}, fmt.Errorf("%w: page is %d bytes, want %d", ErrPageSizeAgain, len(buf), want)
+	}
+	level := binary.LittleEndian.Uint16(buf[0:2])
+	count := int(binary.LittleEndian.Uint16(buf[2:4]))
+	if count > capacity {
+		return DiskNode{}, fmt.Errorf("%w: entry count %d exceeds capacity %d", ErrCorruptPage, count, capacity)
+	}
+	n := DiskNode{Level: level, Entries: make([]DiskEntry, count)}
+	off := nodeHeaderSize
+	for i := 0; i < count; i++ {
+		xl := math.Float32frombits(binary.LittleEndian.Uint32(buf[off+0:]))
+		yl := math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4:]))
+		xu := math.Float32frombits(binary.LittleEndian.Uint32(buf[off+8:]))
+		yu := math.Float32frombits(binary.LittleEndian.Uint32(buf[off+12:]))
+		ref := binary.LittleEndian.Uint32(buf[off+16:])
+		n.Entries[i] = DiskEntry{
+			Rect: geom.Rect{XL: float64(xl), YL: float64(yl), XU: float64(xu), YU: float64(yu)},
+			Ref:  ref,
+		}
+		off += EntrySize
+	}
+	return n, nil
+}

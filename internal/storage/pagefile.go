@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageFile is an in-memory simulation of a file of fixed-size pages.  It is
+// the persistence substrate for R*-trees: each tree node can be written to
+// and read from its page.  The file is safe for concurrent use.
+type PageFile struct {
+	mu       sync.RWMutex
+	pageSize int
+	pages    map[PageID][]byte
+	next     PageID
+}
+
+// NewPageFile creates an empty page file with the given page size.
+// It panics if the page size cannot hold a single entry.
+func NewPageFile(pageSize int) *PageFile {
+	if CapacityForPage(pageSize) < 1 {
+		panic(fmt.Sprintf("storage: page size %d too small", pageSize))
+	}
+	return &PageFile{
+		pageSize: pageSize,
+		pages:    make(map[PageID][]byte),
+		next:     1,
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (f *PageFile) PageSize() int { return f.pageSize }
+
+// Allocate reserves a new page and returns its identifier.
+func (f *PageFile) Allocate() PageID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := f.next
+	f.next++
+	f.pages[id] = nil
+	return id
+}
+
+// Write stores the page contents for id.  The page must have been allocated
+// and buf must not exceed the physical page frame (header plus payload).
+func (f *PageFile) Write(id PageID, buf []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.pages[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	}
+	frame := nodeHeaderSize + CapacityForPage(f.pageSize)*EntrySize
+	if len(buf) > frame {
+		return fmt.Errorf("%w: %d bytes exceed frame of %d", ErrPageOverflow, len(buf), frame)
+	}
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	f.pages[id] = cp
+	return nil
+}
+
+// Read returns a copy of the page contents for id.
+func (f *PageFile) Read(id PageID) ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	buf, ok := f.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	}
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	return cp, nil
+}
+
+// Free releases the page.  Reading a freed page fails.
+func (f *PageFile) Free(id PageID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.pages, id)
+}
+
+// Len returns the number of allocated pages.
+func (f *PageFile) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.pages)
+}
+
+// IDs returns the identifiers of all allocated pages in ascending order.
+func (f *PageFile) IDs() []PageID {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ids := make([]PageID, 0, len(f.pages))
+	for id := range f.pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

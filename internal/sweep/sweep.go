@@ -1,0 +1,121 @@
+// Package sweep implements the SortedIntersectionTest of section 4.2 of the
+// paper: given two sequences of rectangles, each sorted by the lower x-corner
+// of its rectangles, it reports all intersecting pairs by moving a sweep line
+// from left to right using only two pointers and no additional dynamic data
+// structures.
+//
+// The algorithm runs in O(|R| + |S| + k_x) time where k_x is the number of
+// pairs whose x-projections intersect.  Its output order ("local plane-sweep
+// order") doubles as the read schedule of SpatialJoin3/4.
+package sweep
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/metrics"
+)
+
+// Pair identifies one rectangle of the R sequence and one of the S sequence
+// by their positions in the input slices.
+type Pair struct {
+	R, S int
+}
+
+// SortByXL sorts rects in place by their lower x-corner and charges the
+// comparisons performed to the collector's sorting counter (the "sorting" row
+// of the paper's Table 4).  The permutation applied to rects is returned so
+// callers can reorder parallel slices.
+func SortByXL(rects []geom.Rect, m *metrics.Collector) []int {
+	perm := make([]int, len(rects))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		m.AddSortComparisons(1)
+		return rects[perm[i]].XL < rects[perm[j]].XL
+	})
+	applyPermutation(rects, perm)
+	return perm
+}
+
+// applyPermutation reorders rects so that rects[i] becomes old rects[perm[i]].
+func applyPermutation(rects []geom.Rect, perm []int) {
+	out := make([]geom.Rect, len(rects))
+	for i, p := range perm {
+		out[i] = rects[p]
+	}
+	copy(rects, out)
+}
+
+// IsSortedByXL reports whether rects is sorted by the lower x-corner.
+func IsSortedByXL(rects []geom.Rect) bool {
+	return sort.SliceIsSorted(rects, func(i, j int) bool { return rects[i].XL < rects[j].XL })
+}
+
+// SortedIntersectionTest reports every intersecting pair between rseq and
+// sseq to emit, in local plane-sweep order.  Both sequences must already be
+// sorted by the lower x-corner (use SortByXL).  Floating-point comparisons
+// spent on the sweep (x-axis scans and y-interval tests) are charged to m.
+//
+// The implementation follows the paper's two-procedure formulation: the outer
+// loop advances the sweep line to the unprocessed rectangle with the smallest
+// xl value; InternalLoop then scans the other sequence from its first
+// unprocessed rectangle until the x-projections no longer overlap.
+func SortedIntersectionTest(rseq, sseq []geom.Rect, m *metrics.Collector, emit func(Pair)) {
+	i, j := 0, 0
+	for i < len(rseq) && j < len(sseq) {
+		if geom.CompareCounted(rseq[i].XL, sseq[j].XL, m) {
+			// The sweep line stops at t = rseq[i]; scan sseq from j.
+			internalLoop(rseq[i], sseq, j, m, func(k int) {
+				emit(Pair{R: i, S: k})
+			})
+			i++
+		} else {
+			// The sweep line stops at t = sseq[j]; scan rseq from i.
+			internalLoop(sseq[j], rseq, i, m, func(k int) {
+				emit(Pair{R: k, S: j})
+			})
+			j++
+		}
+	}
+}
+
+// internalLoop scans seq starting at position unmarked while the x-projection
+// of seq[k] still intersects the x-projection of t, reporting indices whose
+// y-projections intersect as well.
+func internalLoop(t geom.Rect, seq []geom.Rect, unmarked int, m *metrics.Collector, hit func(k int)) {
+	for k := unmarked; k < len(seq); k++ {
+		// x-intersection test: seq[k].xl <= t.xu.
+		if geom.CompareCounted(t.XU, seq[k].XL, m) {
+			// seq[k].xl > t.xu: no further rectangle can overlap in x.
+			return
+		}
+		if geom.IntersectsIntervalCounted(t, seq[k], m) {
+			hit(k)
+		}
+	}
+}
+
+// Pairs runs SortedIntersectionTest and collects the result into a slice.
+func Pairs(rseq, sseq []geom.Rect, m *metrics.Collector) []Pair {
+	var out []Pair
+	SortedIntersectionTest(rseq, sseq, m, func(p Pair) { out = append(out, p) })
+	return out
+}
+
+// NestedLoopPairs computes all intersecting pairs by testing every rectangle
+// of rseq against every rectangle of sseq, charging the join-condition
+// comparisons to m.  It is the reference algorithm for correctness tests and
+// the CPU-cost baseline of SpatialJoin1.
+func NestedLoopPairs(rseq, sseq []geom.Rect, m *metrics.Collector) []Pair {
+	var out []Pair
+	for i, r := range rseq {
+		for j, s := range sseq {
+			if geom.IntersectsCounted(r, s, m) {
+				out = append(out, Pair{R: i, S: j})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+// Package zbjoin implements the z-ordering spatial-join baseline the paper
+// contrasts R-tree joins with (section 2, Orenstein's approach): every
+// rectangle is decomposed into a bounded number of quadtree cells ("z-cells"),
+// the cells of each relation are stored in a B+-tree ordered by z-value, and
+// the join is computed by a synchronized, "almost linear" merge over the two
+// sorted cell sequences.
+//
+// Because a rectangle may be represented by several cells, the same candidate
+// pair can be produced more than once; the ratio of stored cell references to
+// objects is the redundancy factor the paper discusses.  Candidates are
+// deduplicated and verified against the original MBRs before being reported.
+package zbjoin
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/rtree"
+)
+
+// MaxLevel is the maximum quadtree refinement depth of the cell
+// decomposition; 2*MaxLevel bits of z-value are used.
+const MaxLevel = 16
+
+// DefaultMaxCells bounds the number of cells one rectangle is decomposed
+// into.  Higher values increase the redundancy factor (more, smaller cells
+// approximate the rectangle better) and reduce the number of false-positive
+// candidates, the trade-off discussed in the paper's section 2.
+const DefaultMaxCells = 4
+
+// Cell is one element of a rectangle's z-order decomposition: a quadtree cell
+// identified by the half-open z-value interval [Lo, Hi) it covers.
+type Cell struct {
+	Lo, Hi uint64
+}
+
+// Contains reports whether c fully contains other (quadtree cells are either
+// disjoint or nested).
+func (c Cell) Contains(other Cell) bool { return c.Lo <= other.Lo && other.Hi <= c.Hi }
+
+// Relation is one side of the z-ordering join: the decomposed cells of all
+// objects of a relation stored in a B+-tree, plus the objects' MBRs for the
+// verification step.
+type Relation struct {
+	tree     *btree.Tree
+	cells    []cellRef
+	rects    map[int32]geom.Rect
+	objects  int
+	refCount int
+	world    geom.Rect
+}
+
+// cellRef is one cell reference: the cell plus the object it belongs to.
+type cellRef struct {
+	cell Cell
+	id   int32
+}
+
+// Options configures the decomposition.
+type Options struct {
+	// MaxCells bounds the number of cells per rectangle (default
+	// DefaultMaxCells).
+	MaxCells int
+	// World is the data space covered by the quadtree; default is the unit
+	// square.  All rectangles must lie inside it.
+	World geom.Rect
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCells <= 0 {
+		o.MaxCells = DefaultMaxCells
+	}
+	if o.World.Area() == 0 {
+		o.World = geom.WorldRect()
+	}
+	return o
+}
+
+// BuildRelation decomposes every item into z-cells and stores them in a
+// B+-tree keyed by the cells' lower z-value.
+func BuildRelation(items []rtree.Item, opts Options) *Relation {
+	opts = opts.withDefaults()
+	rel := &Relation{
+		tree:    btree.NewDefault(),
+		rects:   make(map[int32]geom.Rect, len(items)),
+		objects: len(items),
+		world:   opts.World,
+	}
+	for _, it := range items {
+		rel.rects[it.Data] = it.Rect
+		cells := Decompose(it.Rect, opts.World, opts.MaxCells)
+		for _, c := range cells {
+			rel.cells = append(rel.cells, cellRef{cell: c, id: it.Data})
+			rel.tree.Insert(c.Lo, it.Data)
+			rel.refCount++
+		}
+	}
+	sort.Slice(rel.cells, func(i, j int) bool {
+		if rel.cells[i].cell.Lo != rel.cells[j].cell.Lo {
+			return rel.cells[i].cell.Lo < rel.cells[j].cell.Lo
+		}
+		// Larger (containing) cells first so the merge's stack discipline
+		// sees ancestors before descendants.
+		return rel.cells[i].cell.Hi > rel.cells[j].cell.Hi
+	})
+	return rel
+}
+
+// Objects returns the number of spatial objects in the relation.
+func (r *Relation) Objects() int { return r.objects }
+
+// CellReferences returns the number of stored cell references.
+func (r *Relation) CellReferences() int { return r.refCount }
+
+// RedundancyFactor returns cell references divided by objects, the measure
+// the paper uses to characterise z-ordering approaches.
+func (r *Relation) RedundancyFactor() float64 {
+	if r.objects == 0 {
+		return 0
+	}
+	return float64(r.refCount) / float64(r.objects)
+}
+
+// Index returns the underlying B+-tree (for statistics and tests).
+func (r *Relation) Index() *btree.Tree { return r.tree }
+
+// Decompose returns the z-order cells approximating rect within world, at
+// most maxCells of them.  The decomposition recursively splits quadtree cells
+// that are not fully covered by rect, stopping early (and accepting a coarser
+// approximation) when the budget is reached.
+func Decompose(rect geom.Rect, world geom.Rect, maxCells int) []Cell {
+	if maxCells <= 0 {
+		maxCells = 1
+	}
+	clipped, ok := rect.Intersection(world)
+	if !ok {
+		return nil
+	}
+	type task struct {
+		cell  geom.Rect
+		lo    uint64
+		level int
+	}
+	var out []Cell
+	// span returns the z-value span of a cell at the given level.
+	span := func(level int) uint64 { return uint64(1) << (2 * uint(MaxLevel-level)) }
+
+	// decompose covers clipped ∩ t.cell with at most budget cells (budget is
+	// always >= 1) and returns how many it emitted.  Coverage is never given
+	// up: when the budget is too small to refine further, the whole cell is
+	// emitted as a coarser approximation.
+	var decompose func(t task, budget int) int
+	decompose = func(t task, budget int) int {
+		if clipped.Contains(t.cell) || t.level == MaxLevel || budget <= 1 {
+			out = append(out, Cell{Lo: t.lo, Hi: t.lo + span(t.level)})
+			return 1
+		}
+		// Split into the four children in z-order: SW, SE, NW, NE.
+		midX := (t.cell.XL + t.cell.XU) / 2
+		midY := (t.cell.YL + t.cell.YU) / 2
+		childSpan := span(t.level + 1)
+		children := [4]geom.Rect{
+			{XL: t.cell.XL, YL: t.cell.YL, XU: midX, YU: midY},
+			{XL: midX, YL: t.cell.YL, XU: t.cell.XU, YU: midY},
+			{XL: t.cell.XL, YL: midY, XU: midX, YU: t.cell.YU},
+			{XL: midX, YL: midY, XU: t.cell.XU, YU: t.cell.YU},
+		}
+		var tasks []task
+		for i, child := range children {
+			if clipped.Intersects(child) {
+				tasks = append(tasks, task{cell: child, lo: t.lo + uint64(i)*childSpan, level: t.level + 1})
+			}
+		}
+		if len(tasks) > budget {
+			// Not enough budget to give every intersecting child at least one
+			// cell; keep the coarse parent cell instead.
+			out = append(out, Cell{Lo: t.lo, Hi: t.lo + span(t.level)})
+			return 1
+		}
+		used := 0
+		for i, child := range tasks {
+			// Spread the remaining budget evenly over the remaining children;
+			// every child receives at least one cell, so coverage is
+			// guaranteed.
+			remainingChildren := len(tasks) - i
+			quota := (budget - used + remainingChildren - 1) / remainingChildren
+			used += decompose(child, quota)
+		}
+		return used
+	}
+	decompose(task{cell: world, lo: 0, level: 0}, maxCells)
+	return out
+}
+
+// Result is the outcome of a z-ordering join.
+type Result struct {
+	// Pairs are the verified result pairs (identifiers from R and S).
+	Pairs []Pair
+	// Candidates is the number of candidate pairs produced by the merge
+	// before deduplication and MBR verification.
+	Candidates int
+	// Metrics captures the comparisons charged during verification.
+	Metrics metrics.Snapshot
+	// RedundancyR and RedundancyS are the redundancy factors of the inputs.
+	RedundancyR, RedundancyS float64
+}
+
+// Pair mirrors join.Pair to keep the package free of a dependency on the
+// R-tree join implementation.
+type Pair struct {
+	R, S int32
+}
+
+// Join computes the MBR-spatial-join of the two relations by merging their
+// sorted cell sequences: two cells can only contain intersecting rectangles
+// if their z-value intervals overlap (one contains the other, since quadtree
+// cells form a laminar family).  Candidate pairs are deduplicated and
+// verified against the exact MBRs, with the verification comparisons charged
+// to the collector.
+func Join(r, s *Relation, collector *metrics.Collector) *Result {
+	if collector == nil {
+		collector = metrics.NewCollector()
+	}
+	before := collector.Snapshot()
+	res := &Result{
+		RedundancyR: r.RedundancyFactor(),
+		RedundancyS: s.RedundancyFactor(),
+	}
+	seen := make(map[Pair]bool)
+
+	// Synchronized scan over both cell sequences in z order.  Each side keeps
+	// a stack of "open" cells (ancestors of the current position); a new cell
+	// pairs with every open cell of the other side that contains it or is
+	// contained by it.
+	var stackR, stackS []cellRef
+	i, j := 0, 0
+	push := func(stack []cellRef, c cellRef) []cellRef {
+		// Pop cells that end before the new cell starts.
+		for len(stack) > 0 && stack[len(stack)-1].cell.Hi <= c.cell.Lo {
+			stack = stack[:len(stack)-1]
+		}
+		return append(stack, c)
+	}
+	report := func(rID, sID int32) {
+		res.Candidates++
+		p := Pair{R: rID, S: sID}
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		if geom.IntersectsCounted(r.rects[rID], s.rects[sID], collector) {
+			res.Pairs = append(res.Pairs, p)
+			collector.AddPairReported()
+		}
+	}
+	stepR := func() {
+		c := r.cells[i]
+		stackR = push(stackR, c)
+		stackS = prune(stackS, c.cell.Lo)
+		for _, open := range stackS {
+			if open.cell.Contains(c.cell) || c.cell.Contains(open.cell) {
+				report(c.id, open.id)
+			}
+		}
+		i++
+	}
+	stepS := func() {
+		c := s.cells[j]
+		stackS = push(stackS, c)
+		stackR = prune(stackR, c.cell.Lo)
+		for _, open := range stackR {
+			if open.cell.Contains(c.cell) || c.cell.Contains(open.cell) {
+				report(open.id, c.id)
+			}
+		}
+		j++
+	}
+	for i < len(r.cells) && j < len(s.cells) {
+		if less(r.cells[i].cell, s.cells[j].cell) {
+			stepR()
+		} else {
+			stepS()
+		}
+	}
+	// Drain the remaining cells of whichever sequence is longer: they can
+	// still be contained in cells of the other relation that are open on the
+	// stack.
+	for i < len(r.cells) {
+		stepR()
+	}
+	for j < len(s.cells) {
+		stepS()
+	}
+	res.Metrics = collector.Snapshot().Sub(before)
+	return res
+}
+
+// less orders cells by lower z-value, larger (containing) cells first on ties.
+func less(a, b Cell) bool {
+	if a.Lo != b.Lo {
+		return a.Lo < b.Lo
+	}
+	return a.Hi > b.Hi
+}
+
+// prune removes cells that end at or before the given position from the
+// bottom-up stack.
+func prune(stack []cellRef, pos uint64) []cellRef {
+	out := stack[:0]
+	for _, c := range stack {
+		if c.cell.Hi > pos {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (res *Result) String() string {
+	return fmt.Sprintf("zbjoin: %d pairs from %d candidates (redundancy %.2f/%.2f)",
+		len(res.Pairs), res.Candidates, res.RedundancyR, res.RedundancyS)
+}

@@ -1,0 +1,249 @@
+package zbjoin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/rtree"
+)
+
+func TestDecomposeCoversRectangle(t *testing.T) {
+	world := geom.WorldRect()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		x, y := rng.Float64()*0.9, rng.Float64()*0.9
+		r := geom.Rect{XL: x, YL: y, XU: x + rng.Float64()*0.1, YU: y + rng.Float64()*0.1}
+		cells := Decompose(r, world, 4)
+		if len(cells) == 0 || len(cells) > 4 {
+			t.Fatalf("decomposition of %v produced %d cells", r, len(cells))
+		}
+		// Probe random points inside the rectangle: every point's z-value must
+		// fall into at least one cell interval.
+		for p := 0; p < 20; p++ {
+			px := r.XL + rng.Float64()*r.Width()
+			py := r.YL + rng.Float64()*r.Height()
+			z := pointZ(geom.Point{X: px, Y: py}, world)
+			covered := false
+			for _, c := range cells {
+				if z >= c.Lo && z < c.Hi {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("point (%g,%g) of %v not covered by cells %v", px, py, r, cells)
+			}
+		}
+	}
+}
+
+// pointZ computes the z-value of a point at MaxLevel resolution using the
+// same SW/SE/NW/NE child ordering as Decompose.
+func pointZ(p geom.Point, world geom.Rect) uint64 {
+	cell := world
+	var z uint64
+	for level := 0; level < MaxLevel; level++ {
+		span := uint64(1) << (2 * uint(MaxLevel-level-1))
+		midX := (cell.XL + cell.XU) / 2
+		midY := (cell.YL + cell.YU) / 2
+		idx := uint64(0)
+		if p.X >= midX {
+			idx |= 1
+			cell.XL = midX
+		} else {
+			cell.XU = midX
+		}
+		if p.Y >= midY {
+			idx |= 2
+			cell.YL = midY
+		} else {
+			cell.YU = midY
+		}
+		z += idx * span
+	}
+	return z
+}
+
+func TestDecomposeBudget(t *testing.T) {
+	world := geom.WorldRect()
+	r := geom.Rect{XL: 0.1, YL: 0.1, XU: 0.6, YU: 0.6}
+	for _, budget := range []int{1, 2, 4, 8, 16} {
+		cells := Decompose(r, world, budget)
+		if len(cells) == 0 || len(cells) > budget {
+			t.Fatalf("budget %d produced %d cells", budget, len(cells))
+		}
+	}
+	if got := Decompose(r, world, 0); len(got) != 1 {
+		t.Fatalf("budget 0 should clamp to 1 cell, got %d", len(got))
+	}
+	if got := Decompose(geom.Rect{XL: 5, YL: 5, XU: 6, YU: 6}, world, 4); len(got) != 0 {
+		t.Fatalf("rect outside the world should produce no cells, got %d", len(got))
+	}
+}
+
+func TestDecomposeFinerBudgetReducesCoveredArea(t *testing.T) {
+	// More cells approximate the rectangle more tightly, i.e. the total
+	// z-interval length (a proxy for covered area) shrinks.
+	world := geom.WorldRect()
+	r := geom.Rect{XL: 0.13, YL: 0.22, XU: 0.47, YU: 0.58}
+	length := func(cells []Cell) uint64 {
+		var sum uint64
+		for _, c := range cells {
+			sum += c.Hi - c.Lo
+		}
+		return sum
+	}
+	coarse := length(Decompose(r, world, 1))
+	medium := length(Decompose(r, world, 4))
+	fine := length(Decompose(r, world, 16))
+	if !(fine <= medium && medium <= coarse) {
+		t.Fatalf("covered length must shrink with budget: %d, %d, %d", coarse, medium, fine)
+	}
+	if fine == coarse {
+		t.Fatal("expected a strictly better approximation with 16 cells")
+	}
+}
+
+func TestCellContains(t *testing.T) {
+	a := Cell{Lo: 0, Hi: 64}
+	b := Cell{Lo: 16, Hi: 32}
+	if !a.Contains(b) || b.Contains(a) {
+		t.Fatal("containment answered incorrectly")
+	}
+}
+
+func TestBuildRelationRedundancy(t *testing.T) {
+	items := datagen.Generate(datagen.Config{Kind: datagen.Regions, Count: 500, Seed: 3})
+	rel := BuildRelation(items, Options{MaxCells: 4})
+	if rel.Objects() != len(items) {
+		t.Fatalf("Objects = %d", rel.Objects())
+	}
+	if rel.CellReferences() < rel.Objects() {
+		t.Fatal("every object must contribute at least one cell")
+	}
+	if rf := rel.RedundancyFactor(); rf < 1 || rf > 4 {
+		t.Fatalf("redundancy factor %g outside [1,4]", rf)
+	}
+	if rel.Index().Len() != rel.CellReferences() {
+		t.Fatalf("B+-tree holds %d cells, want %d", rel.Index().Len(), rel.CellReferences())
+	}
+	if err := rel.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	empty := BuildRelation(nil, Options{})
+	if empty.RedundancyFactor() != 0 {
+		t.Fatal("empty relation must report zero redundancy")
+	}
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	for _, kinds := range [][2]datagen.Kind{
+		{datagen.Streets, datagen.Rivers},
+		{datagen.Regions, datagen.Regions},
+	} {
+		itemsR := datagen.Generate(datagen.Config{Kind: kinds[0], Count: 1200, Seed: 21})
+		itemsS := datagen.Generate(datagen.Config{Kind: kinds[1], Count: 1200, Seed: 22})
+		want := make(map[Pair]bool)
+		for _, a := range itemsR {
+			for _, b := range itemsS {
+				if a.Rect.Intersects(b.Rect) {
+					want[Pair{R: a.Data, S: b.Data}] = true
+				}
+			}
+		}
+		relR := BuildRelation(itemsR, Options{MaxCells: 4})
+		relS := BuildRelation(itemsS, Options{MaxCells: 4})
+		res := Join(relR, relS, metrics.NewCollector())
+		got := make(map[Pair]bool, len(res.Pairs))
+		for _, p := range res.Pairs {
+			if got[p] {
+				t.Fatalf("%v/%v: duplicate pair %v", kinds[0], kinds[1], p)
+			}
+			got[p] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v/%v: %d pairs, want %d", kinds[0], kinds[1], len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("%v/%v: missing pair %v", kinds[0], kinds[1], p)
+			}
+		}
+		if res.Candidates < len(res.Pairs) {
+			t.Fatalf("candidates (%d) cannot be fewer than results (%d)", res.Candidates, len(res.Pairs))
+		}
+		if res.Metrics.Comparisons == 0 {
+			t.Fatal("verification must charge comparisons")
+		}
+		if res.String() == "" {
+			t.Fatal("String must not be empty")
+		}
+	}
+}
+
+func TestJoinNilCollector(t *testing.T) {
+	items := datagen.Generate(datagen.Config{Kind: datagen.Streets, Count: 100, Seed: 5})
+	rel := BuildRelation(items, Options{})
+	res := Join(rel, rel, nil)
+	if len(res.Pairs) < len(items) {
+		t.Fatalf("self join must at least find the identity pairs, got %d", len(res.Pairs))
+	}
+}
+
+func TestHigherRedundancyReducesFalseCandidates(t *testing.T) {
+	// The paper's redundancy trade-off: a finer decomposition (higher
+	// redundancy factor) yields a more accurate filter, i.e. fewer candidates
+	// that fail MBR verification, at the price of more stored references.
+	itemsR := datagen.Generate(datagen.Config{Kind: datagen.Regions, Count: 800, Seed: 31})
+	itemsS := datagen.Generate(datagen.Config{Kind: datagen.Regions, Count: 800, Seed: 32})
+	falseRate := func(maxCells int) float64 {
+		relR := BuildRelation(itemsR, Options{MaxCells: maxCells})
+		relS := BuildRelation(itemsS, Options{MaxCells: maxCells})
+		res := Join(relR, relS, nil)
+		if res.Candidates == 0 {
+			return 0
+		}
+		return 1 - float64(len(res.Pairs))/float64(res.Candidates)
+	}
+	coarse := falseRate(1)
+	fine := falseRate(8)
+	if fine > coarse {
+		t.Fatalf("finer decomposition should not increase the false-candidate rate: %.3f vs %.3f", fine, coarse)
+	}
+}
+
+// Property: decomposition cells never overlap each other and all lie inside
+// the world interval.
+func TestDecomposeCellsDisjointProperty(t *testing.T) {
+	world := geom.WorldRect()
+	f := func(xs, ys, ws, hs uint8) bool {
+		x := float64(xs) / 300
+		y := float64(ys) / 300
+		w := float64(ws)/300 + 0.001
+		h := float64(hs)/300 + 0.001
+		r := geom.Rect{XL: x, YL: y, XU: x + w, YU: y + h}
+		cells := Decompose(r, world, 6)
+		for i := 0; i < len(cells); i++ {
+			if cells[i].Hi <= cells[i].Lo {
+				return false
+			}
+			for j := i + 1; j < len(cells); j++ {
+				// Intervals must be disjoint (cells of one decomposition are
+				// never nested because nesting would be redundant coverage).
+				if cells[i].Lo < cells[j].Hi && cells[j].Lo < cells[i].Hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = rtree.Item{} // datagen returns rtree.Items; keep the import explicit for readers.
