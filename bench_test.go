@@ -6,9 +6,12 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/geom"
 	"repro/internal/join"
+	"repro/internal/metrics"
 	"repro/internal/rtree"
 	"repro/internal/storage"
+	"repro/internal/sweep"
 )
 
 // The benchmarks mirror the paper's evaluation: one benchmark per table and
@@ -330,7 +333,7 @@ func BenchmarkHeightPolicies(b *testing.B) {
 // parallel execution (extension; the paper's future-work section).
 func BenchmarkParallelJoin(b *testing.B) {
 	r, s := treesForBench()
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -347,6 +350,33 @@ func BenchmarkParallelJoin(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSweepAppendPairs isolates the allocation-free sorted intersection
+// test (the innermost CPU kernel of SJ3-SJ5) on two presorted node-sized
+// rectangle sequences; it must report zero allocations.
+func BenchmarkSweepAppendPairs(b *testing.B) {
+	items := GenerateDataset(DatasetConfig{Kind: Streets, Count: 50, Seed: 3})
+	rseq := make([]geom.Rect, len(items))
+	sseq := make([]geom.Rect, len(items))
+	for i, it := range items {
+		rseq[i] = it.Rect
+		sseq[len(items)-1-i] = it.Rect
+	}
+	col := metrics.NewCollector()
+	sweep.SortByXL(rseq, col)
+	sweep.SortByXL(sseq, col)
+	var local metrics.Local
+	var buf []sweep.Pair
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sweep.AppendPairs(rseq, sseq, &local, buf[:0])
+		if len(buf) == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+	local.FlushTo(col)
 }
 
 // BenchmarkSortMergeJoin measures the index-free sort-merge baseline on the

@@ -6,7 +6,6 @@
 package buffer
 
 import (
-	"container/list"
 	"fmt"
 
 	"repro/internal/storage"
@@ -19,19 +18,36 @@ type FrameKey struct {
 	Page storage.PageID
 }
 
+// lruNode is one frame of the buffer, linked into either the recency list or
+// the free list.  Frames are recycled on eviction, so the buffer performs no
+// steady-state allocations no matter how many pages stream through it.
+type lruNode struct {
+	key        FrameKey
+	prev, next int32
+	pins       int32
+}
+
+const nilNode = int32(-1)
+
 // LRU is a least-recently-used page buffer with a fixed capacity measured in
 // pages.  Pinned pages are never evicted.  A capacity of zero means no
 // buffering at all (every access misses), which models the paper's
 // "buffer size = 0" experiments.
 //
+// The recency order is an intrusive doubly-linked list over a frame slice
+// that is reused through a free list, so after warm-up Touch/Insert/evict
+// cycles allocate nothing.
+//
 // LRU is not safe for concurrent use; the join algorithms are sequential, as
-// in the paper.
+// in the paper (ParallelJoin gives each worker its own buffer).
 type LRU struct {
-	capacity int
-	order    *list.List // front = most recently used; stores FrameKey
-	frames   map[FrameKey]*list.Element
-	pinned   map[FrameKey]int
-	evicted  int64
+	capacity    int
+	nodes       []lruNode
+	frames      map[FrameKey]int32
+	head, tail  int32 // head = most recently used
+	free        int32 // head of the free list (linked via next)
+	pinnedPages int
+	evicted     int64
 }
 
 // NewLRU returns a buffer holding at most capacity pages.
@@ -41,9 +57,11 @@ func NewLRU(capacity int) *LRU {
 	}
 	return &LRU{
 		capacity: capacity,
-		order:    list.New(),
-		frames:   make(map[FrameKey]*list.Element),
-		pinned:   make(map[FrameKey]int),
+		nodes:    make([]lruNode, 0, capacity),
+		frames:   make(map[FrameKey]int32, capacity),
+		head:     nilNode,
+		tail:     nilNode,
+		free:     nilNode,
 	}
 }
 
@@ -73,14 +91,46 @@ func (b *LRU) Contains(k FrameKey) bool {
 	return ok
 }
 
+// unlink removes node i from the recency list.
+func (b *LRU) unlink(i int32) {
+	n := &b.nodes[i]
+	if n.prev != nilNode {
+		b.nodes[n.prev].next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nilNode {
+		b.nodes[n.next].prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+}
+
+// pushFront links node i in front of the recency list.
+func (b *LRU) pushFront(i int32) {
+	n := &b.nodes[i]
+	n.prev = nilNode
+	n.next = b.head
+	if b.head != nilNode {
+		b.nodes[b.head].prev = i
+	}
+	b.head = i
+	if b.tail == nilNode {
+		b.tail = i
+	}
+}
+
 // Touch marks the page as most recently used and reports whether it was
 // buffered.
 func (b *LRU) Touch(k FrameKey) bool {
-	el, ok := b.frames[k]
+	i, ok := b.frames[k]
 	if !ok {
 		return false
 	}
-	b.order.MoveToFront(el)
+	if b.head != i {
+		b.unlink(i)
+		b.pushFront(i)
+	}
 	return true
 }
 
@@ -92,27 +142,43 @@ func (b *LRU) Insert(k FrameKey) {
 	if b.capacity == 0 {
 		return
 	}
-	if el, ok := b.frames[k]; ok {
-		b.order.MoveToFront(el)
+	if i, ok := b.frames[k]; ok {
+		if b.head != i {
+			b.unlink(i)
+			b.pushFront(i)
+		}
 		return
 	}
 	if len(b.frames) >= b.capacity {
 		b.evictOne()
 	}
-	b.frames[k] = b.order.PushFront(k)
+	var i int32
+	if b.free != nilNode {
+		i = b.free
+		b.free = b.nodes[i].next
+	} else {
+		// Appends happen only until the frame pool reaches its working-set
+		// size (capacity frames, plus slack while every frame is pinned).
+		b.nodes = append(b.nodes, lruNode{})
+		i = int32(len(b.nodes) - 1)
+	}
+	b.nodes[i] = lruNode{key: k, prev: nilNode, next: nilNode}
+	b.frames[k] = i
+	b.pushFront(i)
 }
 
 // evictOne removes the least recently used unpinned page.  If every buffered
 // page is pinned the buffer temporarily grows beyond its capacity; this
 // mirrors the paper's pinning, which never pins more than one page at a time.
 func (b *LRU) evictOne() {
-	for el := b.order.Back(); el != nil; el = el.Prev() {
-		k := el.Value.(FrameKey)
-		if b.pinned[k] > 0 {
+	for i := b.tail; i != nilNode; i = b.nodes[i].prev {
+		if b.nodes[i].pins > 0 {
 			continue
 		}
-		b.order.Remove(el)
-		delete(b.frames, k)
+		b.unlink(i)
+		delete(b.frames, b.nodes[i].key)
+		b.nodes[i].next = b.free
+		b.free = i
 		b.evicted++
 		return
 	}
@@ -129,34 +195,44 @@ func (b *LRU) Pin(k FrameKey) {
 		return
 	}
 	b.Insert(k)
-	b.pinned[k]++
+	i := b.frames[k]
+	if b.nodes[i].pins == 0 {
+		b.pinnedPages++
+	}
+	b.nodes[i].pins++
 }
 
 // Unpin releases one pin of the page.  Unpinning a page that is not pinned is
 // a no-op.
 func (b *LRU) Unpin(k FrameKey) {
-	if n, ok := b.pinned[k]; ok {
-		if n <= 1 {
-			delete(b.pinned, k)
-		} else {
-			b.pinned[k] = n - 1
-		}
+	i, ok := b.frames[k]
+	if !ok || b.nodes[i].pins == 0 {
+		return
+	}
+	b.nodes[i].pins--
+	if b.nodes[i].pins == 0 {
+		b.pinnedPages--
 	}
 }
 
 // Pinned reports whether the page currently holds at least one pin.
-func (b *LRU) Pinned(k FrameKey) bool { return b.pinned[k] > 0 }
+func (b *LRU) Pinned(k FrameKey) bool {
+	i, ok := b.frames[k]
+	return ok && b.nodes[i].pins > 0
+}
 
-// Reset empties the buffer and clears all pins.
+// Reset empties the buffer and clears all pins, keeping the frame pool so a
+// reused buffer stays allocation-free.
 func (b *LRU) Reset() {
-	b.order.Init()
-	b.frames = make(map[FrameKey]*list.Element)
-	b.pinned = make(map[FrameKey]int)
+	b.nodes = b.nodes[:0]
+	clear(b.frames)
+	b.head, b.tail, b.free = nilNode, nilNode, nilNode
+	b.pinnedPages = 0
 	b.evicted = 0
 }
 
 // String implements fmt.Stringer.
 func (b *LRU) String() string {
 	return fmt.Sprintf("LRU{capacity=%d, len=%d, pinned=%d, evicted=%d}",
-		b.capacity, len(b.frames), len(b.pinned), b.evicted)
+		b.capacity, len(b.frames), b.pinnedPages, b.evicted)
 }

@@ -19,8 +19,20 @@ type ComparisonCounter interface {
 //
 // with short-circuiting after the first false conjunct.
 func IntersectsCounted(r, s Rect, c ComparisonCounter) bool {
-	// The comparison count is accumulated locally and charged once, so the
-	// counter sees one update per predicate evaluation.
+	ok, n := IntersectsCost(r, s)
+	if c != nil {
+		c.AddComparisons(n)
+	}
+	return ok
+}
+
+// IntersectsCost evaluates the join condition "r intersects s" and returns
+// the number of floating-point comparisons the paper's accounting charges for
+// it, without touching any counter.  Hot loops accumulate the returned costs
+// in a plain local integer and flush the batch once (see metrics.Local),
+// which keeps the steady-state join path free of per-predicate counter
+// updates while producing bit-identical totals.
+func IntersectsCost(r, s Rect) (bool, int64) {
 	var n int64 = 1
 	ok := r.XL <= s.XU
 	if ok {
@@ -35,10 +47,7 @@ func IntersectsCounted(r, s Rect, c ComparisonCounter) bool {
 			}
 		}
 	}
-	if c != nil {
-		c.AddComparisons(n)
-	}
-	return ok
+	return ok, n
 }
 
 // IntersectsIntervalCounted evaluates the one-dimensional interval overlap
@@ -49,16 +58,24 @@ func IntersectsCounted(r, s Rect, c ComparisonCounter) bool {
 // and charges the comparisons performed (two if the first conjunct holds, one
 // otherwise).
 func IntersectsIntervalCounted(t, s Rect, c ComparisonCounter) bool {
+	ok, n := IntersectsIntervalCost(t, s)
+	if c != nil {
+		c.AddComparisons(n)
+	}
+	return ok
+}
+
+// IntersectsIntervalCost is the batch-accounting variant of
+// IntersectsIntervalCounted: it returns the comparison cost instead of
+// charging a counter.
+func IntersectsIntervalCost(t, s Rect) (bool, int64) {
 	var n int64 = 1
 	ok := t.YL <= s.YU
 	if ok {
 		n++
 		ok = t.YU >= s.YL
 	}
-	if c != nil {
-		c.AddComparisons(n)
-	}
-	return ok
+	return ok, n
 }
 
 // CompareCounted charges a single floating-point comparison to c and reports

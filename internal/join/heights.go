@@ -23,30 +23,38 @@ func (e *executor) handleHeightDifference(nr, ns *rtree.Node, rect *geom.Rect) b
 		return false
 	case nr.IsLeaf():
 		// nr holds data rectangles of R, ns is a directory node of S.
-		e.joinLeafWithDirectory(nr, ns, e.s, rect, func(dataID, subtreeID int32) Pair {
-			return Pair{R: dataID, S: subtreeID}
-		})
+		e.joinLeafWithDirectory(nr, ns, e.s, rect, false)
 	default:
 		// ns holds data rectangles of S, nr is a directory node of R.
-		e.joinLeafWithDirectory(ns, nr, e.r, rect, func(dataID, subtreeID int32) Pair {
-			return Pair{R: subtreeID, S: dataID}
-		})
+		e.joinLeafWithDirectory(ns, nr, e.r, rect, true)
 	}
 	return true
 }
 
-// joinLeafWithDirectory joins the data node leaf with the directory node dir
-// belonging to dirTree.  makePair builds a result pair from the identifier of
-// a data entry of the leaf node and the identifier of a data entry found in
-// the directory subtree, preserving the R/S orientation chosen by the caller.
-func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.Tree, rect *geom.Rect, makePair func(dataID, subtreeID int32) Pair) {
-	leafEntries := leaf.Entries
-	dirEntries := dir.Entries
-	if rect != nil {
-		leafEntries = e.restrict(leafEntries, *rect)
-		dirEntries = e.restrict(dirEntries, *rect)
+// emitLeafDir reports one (data entry, subtree entry) result, preserving the
+// R/S orientation chosen by handleHeightDifference: with swapped set, the
+// leaf holds data of S and the directory subtree data of R.
+func (e *executor) emitLeafDir(dataID, subtreeID int32, swapped bool) {
+	if swapped {
+		e.emit(Pair{R: subtreeID, S: dataID})
+	} else {
+		e.emit(Pair{R: dataID, S: subtreeID})
 	}
-	if len(leafEntries) == 0 || len(dirEntries) == 0 {
+}
+
+// joinLeafWithDirectory joins the data node leaf with the directory node dir
+// belonging to dirTree.  The routine never nests, so all scratch space comes
+// from the executor's single heights arena.
+func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.Tree, rect *geom.Rect, swapped bool) {
+	h := &e.arena.heights
+	if rect != nil {
+		h.leafIdx = e.restrictIdx(leaf.Entries, *rect, h.leafIdx[:0])
+		h.dirIdx = e.restrictIdx(dir.Entries, *rect, h.dirIdx[:0])
+	} else {
+		h.leafIdx = appendAllIdx(h.leafIdx[:0], len(leaf.Entries))
+		h.dirIdx = appendAllIdx(h.dirIdx[:0], len(dir.Entries))
+	}
+	if len(h.leafIdx) == 0 || len(h.dirIdx) == 0 {
 		return
 	}
 
@@ -55,22 +63,30 @@ func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.T
 		// Policy (b): for each directory entry, run all window queries that
 		// intersect it in one traversal of its subtree, so that every page of
 		// the subtree is read at most once.
-		for _, de := range dirEntries {
-			var queries []geom.Rect
-			var ids []int32
-			for _, le := range leafEntries {
-				e.metrics.AddPairTested()
-				if geom.IntersectsCounted(le.Rect, de.Rect, e.metrics) {
-					queries = append(queries, le.Rect)
-					ids = append(ids, le.Data)
+		for _, id := range h.dirIdx {
+			de := dir.Entries[id]
+			h.queries = h.queries[:0]
+			h.ids = h.ids[:0]
+			var comps int64
+			for _, il := range h.leafIdx {
+				le := &leaf.Entries[il]
+				e.local.PairsTested++
+				ok, cost := geom.IntersectsCost(le.Rect, de.Rect)
+				comps += cost
+				if ok {
+					h.queries = append(h.queries, le.Rect)
+					h.ids = append(h.ids, le.Data)
 				}
 			}
-			if len(queries) == 0 {
+			e.local.Comparisons += comps
+			if len(h.queries) == 0 {
 				continue
 			}
+			e.local.FlushTo(e.metrics)
+			ids := h.ids
 			dirTree.AccessNode(e.tracker, de.Child)
-			dirTree.BatchSearchSubtree(de.Child, queries, e.tracker, func(q int, found rtree.Entry) {
-				e.emit(makePair(ids[q], found.Data))
+			dirTree.BatchSearchSubtree(de.Child, h.queries, e.tracker, func(q int, found rtree.Entry) {
+				e.emitLeafDir(ids[q], found.Data, swapped)
 			})
 		}
 
@@ -78,34 +94,41 @@ func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.T
 		// Policy (c): determine the intersecting (data, directory) pairs with
 		// the sorted intersection test and run the window queries in that
 		// spatially local order; the shared LRU buffer provides the reuse.
-		leafSorted := append([]rtree.Entry(nil), leafEntries...)
-		dirSorted := append([]rtree.Entry(nil), dirEntries...)
-		leafRects := e.sortEntries(leafSorted)
-		dirRects := e.sortEntries(dirSorted)
-		sweep.SortedIntersectionTest(leafRects, dirRects, e.metrics, func(p sweep.Pair) {
-			e.metrics.AddPairTested()
-			le := leafSorted[p.R]
-			de := dirSorted[p.S]
+		e.sortIdxByXL(h.leafIdx, leaf.Entries)
+		e.sortIdxByXL(h.dirIdx, dir.Entries)
+		h.leafRects = gatherRects(h.leafRects[:0], leaf.Entries, h.leafIdx)
+		h.dirRects = gatherRects(h.dirRects[:0], dir.Entries, h.dirIdx)
+		h.pairs = sweep.AppendPairs(h.leafRects, h.dirRects, &e.local, h.pairs[:0])
+		e.local.PairsTested += int64(len(h.pairs))
+		e.local.FlushTo(e.metrics)
+		for _, p := range h.pairs {
+			le := leaf.Entries[h.leafIdx[p.R]]
+			de := dir.Entries[h.dirIdx[p.S]]
 			dirTree.AccessNode(e.tracker, de.Child)
 			dirTree.SearchSubtree(de.Child, le.Rect, e.tracker, func(found rtree.Entry) bool {
-				e.emit(makePair(le.Data, found.Data))
+				e.emitLeafDir(le.Data, found.Data, swapped)
 				return true
 			})
-		})
+		}
 
 	default:
 		// Policy (a): an individual window query per intersecting pair; the
 		// pages of a subtree are read again for every query unless the buffer
 		// still holds them.
-		for _, le := range leafEntries {
-			for _, de := range dirEntries {
-				e.metrics.AddPairTested()
-				if !geom.IntersectsCounted(le.Rect, de.Rect, e.metrics) {
+		for _, il := range h.leafIdx {
+			le := leaf.Entries[il]
+			for _, id := range h.dirIdx {
+				de := dir.Entries[id]
+				e.local.PairsTested++
+				ok, cost := geom.IntersectsCost(le.Rect, de.Rect)
+				e.local.Comparisons += cost
+				if !ok {
 					continue
 				}
+				e.local.FlushTo(e.metrics)
 				dirTree.AccessNode(e.tracker, de.Child)
 				dirTree.SearchSubtree(de.Child, le.Rect, e.tracker, func(found rtree.Entry) bool {
-					e.emit(makePair(le.Data, found.Data))
+					e.emitLeafDir(le.Data, found.Data, swapped)
 					return true
 				})
 			}

@@ -176,23 +176,16 @@ func Join(r, s *rtree.Tree, opts Options) (*Result, error) {
 	lru := buffer.NewLRUForBytes(opts.BufferBytes, r.PageSize())
 	tracker := buffer.NewTracker(lru, collector, r.PageSize(), opts.UsePathBuffer)
 
-	res := &Result{Method: opts.Method}
+	ar := arenaPool.Get().(*arena)
 	e := &executor{
 		r:       r,
 		s:       s,
 		tracker: tracker,
 		metrics: collector,
 		opts:    opts,
-		emit: func(p Pair) {
-			res.Count++
-			collector.AddPairReported()
-			if opts.OnPair != nil {
-				opts.OnPair(p)
-			}
-			if !opts.DiscardPairs {
-				res.Pairs = append(res.Pairs, p)
-			}
-		},
+		arena:   ar,
+		onPair:  opts.OnPair,
+		discard: opts.DiscardPairs,
 	}
 
 	switch opts.Method {
@@ -207,20 +200,64 @@ func Join(r, s *rtree.Tree, opts Options) (*Result, error) {
 	case SJ4:
 		e.runSweep(SJ4)
 	default:
+		arenaPool.Put(ar)
 		return nil, fmt.Errorf("join: unknown method %v", opts.Method)
 	}
+	e.local.FlushTo(collector)
+	arenaPool.Put(ar)
 
+	res := &Result{Method: opts.Method, Pairs: e.pairs, Count: e.count}
 	res.Metrics = collector.Snapshot().Sub(before)
 	return res, nil
 }
 
 // executor bundles the state shared by all join algorithms of one run.
+//
+// Cost accounting goes through the plain (non-atomic) local batch counter,
+// which every node-pair routine flushes to the shared collector when it is
+// done; only the buffer tracker charges the collector directly, once per
+// page access.  Scratch space comes from the per-depth arena, so after the
+// first descent the join loop performs no allocations at all (results are
+// appended to pairs unless Options.DiscardPairs was set).
 type executor struct {
 	r, s    *rtree.Tree
 	tracker *buffer.Tracker
 	metrics *metrics.Collector
+	local   metrics.Local
 	opts    Options
-	emit    func(Pair)
+	arena   *arena
+	sorter  idxSorter
+	zsorter zkeySorter
+
+	onPair  func(Pair)
+	discard bool
+	pairs   []Pair
+	count   int
+}
+
+// emit reports one result pair.
+func (e *executor) emit(p Pair) {
+	e.count++
+	e.local.PairsReported++
+	if e.onPair != nil {
+		e.onPair(p)
+	}
+	if !e.discard {
+		e.pairs = append(e.pairs, p)
+	}
+}
+
+// sortIdxByXL stable-sorts idx so the referenced entries ascend by their
+// lower x-corner, charging one node sort and the exact key comparisons the
+// entry-slice sort it replaces would have charged.
+func (e *executor) sortIdxByXL(idx []int32, entries []rtree.Entry) {
+	e.local.NodeSorts++
+	e.sorter.idx = idx
+	e.sorter.entries = entries
+	e.sorter.comps = 0
+	stableSort(&e.sorter, len(idx))
+	e.local.SortComparisons += e.sorter.comps
+	e.sorter.idx, e.sorter.entries = nil, nil
 }
 
 // accessRoots charges the initial read of both root pages, which every

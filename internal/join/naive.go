@@ -26,13 +26,18 @@ func (e *executor) nestedLoop() {
 		e.r.AccessNode(e.tracker, rn)
 		for _, sn := range sLeaves {
 			e.s.AccessNode(e.tracker, sn)
+			var comps int64
 			for _, er := range rn.Entries {
 				for _, es := range sn.Entries {
-					if geom.IntersectsCounted(er.Rect, es.Rect, e.metrics) {
+					ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
+					comps += cost
+					if ok {
 						e.emit(Pair{R: er.Data, S: es.Data})
 					}
 				}
 			}
+			e.local.Comparisons += comps
+			e.local.FlushTo(e.metrics)
 		}
 	}
 }
@@ -47,18 +52,35 @@ func (e *executor) runSJ1() {
 // entry of ns; qualifying directory pairs are descended into.
 func (e *executor) sj1(nr, ns *rtree.Node) {
 	if leafDir := e.handleHeightDifference(nr, ns, nil); leafDir {
+		e.local.FlushTo(e.metrics)
+		return
+	}
+	if nr.IsLeaf() && ns.IsLeaf() {
+		var comps int64
+		for is := range ns.Entries {
+			es := &ns.Entries[is]
+			for ir := range nr.Entries {
+				er := &nr.Entries[ir]
+				ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
+				comps += cost
+				if ok {
+					e.emit(Pair{R: er.Data, S: es.Data})
+				}
+			}
+		}
+		e.local.Comparisons += comps
+		e.local.PairsTested += int64(len(nr.Entries) * len(ns.Entries))
+		e.local.FlushTo(e.metrics)
 		return
 	}
 	for is := range ns.Entries {
 		es := ns.Entries[is]
 		for ir := range nr.Entries {
 			er := nr.Entries[ir]
-			e.metrics.AddPairTested()
-			if !geom.IntersectsCounted(er.Rect, es.Rect, e.metrics) {
-				continue
-			}
-			if nr.IsLeaf() && ns.IsLeaf() {
-				e.emit(Pair{R: er.Data, S: es.Data})
+			e.local.PairsTested++
+			ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
+			e.local.Comparisons += cost
+			if !ok {
 				continue
 			}
 			e.r.AccessNode(e.tracker, er.Child)
@@ -66,6 +88,7 @@ func (e *executor) sj1(nr, ns *rtree.Node) {
 			e.sj1(er.Child, es.Child)
 		}
 	}
+	e.local.FlushTo(e.metrics)
 }
 
 // runSJ2 executes SpatialJoin2: SJ1 plus the search-space restriction.
@@ -75,7 +98,7 @@ func (e *executor) runSJ2() {
 	if !ok {
 		return
 	}
-	e.sj2(e.r.Root(), e.s.Root(), rootRect)
+	e.sj2(e.r.Root(), e.s.Root(), rootRect, 0)
 }
 
 // rootIntersection returns the intersection of the MBRs of both trees; if the
@@ -92,39 +115,67 @@ func rootIntersection(r, s *rtree.Tree) (geom.Rect, bool) {
 // sj2 joins two nodes considering only entries that intersect rect, the
 // intersection of the parents' rectangles (section 4.2, "restricting the
 // search space").  The marking scans are charged one comparison predicate per
-// entry, as in the paper's accounting.
-func (e *executor) sj2(nr, ns *rtree.Node, rect geom.Rect) {
+// entry, as in the paper's accounting.  The surviving entries are recorded as
+// indices in the depth's scratch frame, so the restriction allocates nothing
+// in steady state.
+func (e *executor) sj2(nr, ns *rtree.Node, rect geom.Rect, depth int) {
 	if leafDir := e.handleHeightDifference(nr, ns, &rect); leafDir {
+		e.local.FlushTo(e.metrics)
 		return
 	}
-	rEntries := e.restrict(nr.Entries, rect)
-	sEntries := e.restrict(ns.Entries, rect)
-	for _, es := range sEntries {
-		for _, er := range rEntries {
-			e.metrics.AddPairTested()
-			if !geom.IntersectsCounted(er.Rect, es.Rect, e.metrics) {
-				continue
+	f := e.arena.frame(depth)
+	f.rIdx = e.restrictIdx(nr.Entries, rect, f.rIdx[:0])
+	f.sIdx = e.restrictIdx(ns.Entries, rect, f.sIdx[:0])
+	if nr.IsLeaf() && ns.IsLeaf() {
+		var comps, tested int64
+		for _, is := range f.sIdx {
+			es := &ns.Entries[is]
+			for _, ir := range f.rIdx {
+				er := &nr.Entries[ir]
+				tested++
+				ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
+				comps += cost
+				if ok {
+					e.emit(Pair{R: er.Data, S: es.Data})
+				}
 			}
-			if nr.IsLeaf() && ns.IsLeaf() {
-				e.emit(Pair{R: er.Data, S: es.Data})
+		}
+		e.local.Comparisons += comps
+		e.local.PairsTested += tested
+		e.local.FlushTo(e.metrics)
+		return
+	}
+	for _, is := range f.sIdx {
+		es := ns.Entries[is]
+		for _, ir := range f.rIdx {
+			er := nr.Entries[ir]
+			e.local.PairsTested++
+			ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
+			e.local.Comparisons += cost
+			if !ok {
 				continue
 			}
 			childRect, _ := er.Rect.Intersection(es.Rect)
 			e.r.AccessNode(e.tracker, er.Child)
 			e.s.AccessNode(e.tracker, es.Child)
-			e.sj2(er.Child, es.Child, childRect)
+			e.sj2(er.Child, es.Child, childRect, depth+1)
 		}
 	}
+	e.local.FlushTo(e.metrics)
 }
 
-// restrict returns the entries whose rectangle intersects rect, charging one
-// intersection predicate per entry for the marking scan.
-func (e *executor) restrict(entries []rtree.Entry, rect geom.Rect) []rtree.Entry {
-	out := make([]rtree.Entry, 0, len(entries))
-	for _, en := range entries {
-		if geom.IntersectsCounted(en.Rect, rect, e.metrics) {
-			out = append(out, en)
+// restrictIdx appends to idx the indices of the entries whose rectangle
+// intersects rect, charging one intersection predicate per entry for the
+// marking scan.
+func (e *executor) restrictIdx(entries []rtree.Entry, rect geom.Rect, idx []int32) []int32 {
+	var comps int64
+	for i := range entries {
+		ok, cost := geom.IntersectsCost(entries[i].Rect, rect)
+		comps += cost
+		if ok {
+			idx = append(idx, int32(i))
 		}
 	}
-	return out
+	e.local.Comparisons += comps
+	return idx
 }

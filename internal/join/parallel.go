@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/geom"
@@ -16,22 +17,46 @@ import (
 type ParallelOptions struct {
 	// Options are the per-worker join options; the method must be one of the
 	// tree-based algorithms (SJ1-SJ5).  Each worker receives its own LRU
-	// buffer of Options.BufferBytes / Workers bytes, modelling a partitioned
-	// buffer pool.
+	// buffer of Options.BufferBytes / Workers bytes (but at least one page),
+	// modelling a partitioned buffer pool.
 	Options Options
 	// Workers is the number of concurrent workers; 0 means GOMAXPROCS.
+	// Workers is clamped to the number of tasks, so small joins never spin up
+	// idle goroutines with starved buffer partitions.
 	Workers int
 }
 
+// parallelTask is one independent sub-join: the pair of subtrees referenced
+// by two intersecting directory entries.
+type parallelTask struct {
+	er, es rtree.Entry
+}
+
 // ParallelJoin computes the MBR-spatial-join of two trees by partitioning the
-// pairs of qualifying root entries across workers, each of which runs the
-// configured sequential algorithm on its partition.  This implements the
+// pairs of qualifying directory entries across workers, each of which runs
+// the configured sequential algorithm on its partition.  This implements the
 // parallel execution the paper lists as future work (section 6, referring to
 // parallel R-trees); it is an extension beyond the published algorithms.
 //
-// The result set is identical to the sequential join.  The reported metrics
-// are the sums over all workers, so disk accesses are those of a partitioned
-// buffer rather than one shared buffer.
+// The execution is contention-free in steady state: every worker owns its
+// collector, its LRU buffer and its result buffer, and pulls tasks off a
+// shared, pre-materialised task list with a single atomic fetch-add per
+// task.  The per-worker results and counters are merged into the shared
+// result exactly once at the end.  When the root fan-out is smaller than the
+// worker count, the planner splits the qualifying pairs one level deeper
+// (repeatedly, while it helps) so every worker has work to do.
+//
+// The result set is identical to the sequential join; the order of the
+// materialised pairs depends on the scheduling.  OnPair, if set, is invoked
+// while the workers run, serialised by a mutex, so streaming consumers keep
+// O(1) memory with DiscardPairs — opting into the callback is what buys back
+// that one contention point.  The reported metrics are the sums over all
+// workers plus the planning costs, so disk accesses are those of a
+// partitioned buffer rather than one shared buffer; when the planner splits,
+// the node pairs it expands are charged as plain planning comparisons rather
+// than the PairsTested/sorting accounting the sequential algorithms would
+// record for the same pairs, so CPU measures are comparable only between
+// runs with the same effective task depth.
 func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	if r == nil || s == nil {
 		return nil, ErrNilTree
@@ -61,18 +86,41 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	}
 	before := collector.Snapshot()
 
-	// Partition: all pairs of root entries whose rectangles intersect.  Each
-	// pair is an independent sub-join of two subtrees.
-	type task struct {
-		er, es rtree.Entry
-	}
-	var tasks []task
+	// Planning: enumerate all pairs of root entries whose rectangles
+	// intersect; each is an independent sub-join of two subtrees.  Planning
+	// reads (the roots and any nodes opened while splitting) go through a
+	// bufferless tracker charged to the shared collector.
+	var plan metrics.Local
+	planTracker := buffer.NewTracker(buffer.NewLRUForBytes(0, r.PageSize()), collector, r.PageSize(), opts.UsePathBuffer)
+	r.AccessNode(planTracker, r.Root())
+	s.AccessNode(planTracker, s.Root())
+	var tasks []parallelTask
+	var comps int64
 	for _, er := range r.Root().Entries {
 		for _, es := range s.Root().Entries {
-			if geom.IntersectsCounted(er.Rect, es.Rect, collector) {
-				tasks = append(tasks, task{er: er, es: es})
+			ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
+			comps += cost
+			if ok {
+				tasks = append(tasks, parallelTask{er: er, es: es})
 			}
 		}
+	}
+	plan.Comparisons += comps
+	// With fewer qualifying root pairs than workers, split one level deeper
+	// so the task list offers enough parallelism; repeat while it helps.
+	for len(tasks) > 0 && len(tasks) < workers {
+		split, ok := splitTasks(r, s, tasks, planTracker, &plan)
+		if !ok {
+			break
+		}
+		tasks = split
+	}
+	plan.FlushTo(collector)
+
+	res := &Result{Method: opts.Method}
+	if len(tasks) == 0 {
+		res.Metrics = collector.Snapshot().Sub(before)
+		return res, nil
 	}
 	// Larger intersection areas first gives a better load balance.
 	sort.SliceStable(tasks, func(i, j int) bool {
@@ -80,34 +128,60 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 			tasks[j].er.Rect.IntersectionArea(tasks[j].es.Rect)
 	})
 
-	res := &Result{Method: opts.Method}
-	var (
-		mu   sync.Mutex
-		wg   sync.WaitGroup
-		jobs = make(chan task)
-	)
-	emit := func(p Pair) {
-		mu.Lock()
-		defer mu.Unlock()
-		res.Count++
-		collector.AddPairReported()
-		if opts.OnPair != nil {
-			opts.OnPair(p)
-		}
-		if !opts.DiscardPairs {
-			res.Pairs = append(res.Pairs, p)
-		}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	perWorkerBuffer := opts.BufferBytes / workers
+	if opts.BufferBytes > 0 && perWorkerBuffer < r.PageSize() {
+		// A configured buffer smaller than one page per worker would silently
+		// disable buffering; give each worker at least one page instead.
+		perWorkerBuffer = r.PageSize()
 	}
 
-	perWorkerBuffer := opts.BufferBytes / workers
+	// Workers pull tasks with one atomic fetch-add each and accumulate pairs
+	// and counters privately; everything is merged once below.  Only an
+	// OnPair callback reintroduces a shared lock, since the caller asked to
+	// observe the stream as it is produced.
+	var next atomic.Int64
+	workerPairs := make([][]Pair, workers)
+	workerCounts := make([]int, workers)
+	workerCols := make([]*metrics.Collector, workers)
+	onPair := opts.OnPair
+	if onPair != nil {
+		var mu sync.Mutex
+		inner := onPair
+		onPair = func(p Pair) {
+			mu.Lock()
+			inner(p)
+			mu.Unlock()
+		}
+	}
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		wcol := metrics.NewCollector()
+		workerCols[w] = wcol
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			lru := buffer.NewLRUForBytes(perWorkerBuffer, r.PageSize())
-			tracker := buffer.NewTracker(lru, collector, r.PageSize(), opts.UsePathBuffer)
-			e := &executor{r: r, s: s, tracker: tracker, metrics: collector, opts: opts, emit: emit}
-			for t := range jobs {
+			tracker := buffer.NewTracker(lru, wcol, r.PageSize(), opts.UsePathBuffer)
+			ar := arenaPool.Get().(*arena)
+			e := &executor{
+				r:       r,
+				s:       s,
+				tracker: tracker,
+				metrics: wcol,
+				opts:    opts,
+				arena:   ar,
+				onPair:  onPair,
+				discard: opts.DiscardPairs,
+			}
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(tasks)) {
+					break
+				}
+				t := tasks[i]
 				rect, ok := t.er.Rect.Intersection(t.es.Rect)
 				if !ok {
 					continue
@@ -118,20 +192,66 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 				case SJ1:
 					e.sj1(t.er.Child, t.es.Child)
 				case SJ2:
-					e.sj2(t.er.Child, t.es.Child, rect)
+					e.sj2(t.er.Child, t.es.Child, rect, 0)
 				default:
-					e.sweepJoin(t.er.Child, t.es.Child, rect, opts.Method)
+					e.sweepJoin(t.er.Child, t.es.Child, rect, opts.Method, 0)
 				}
 			}
-		}()
+			e.local.FlushTo(wcol)
+			arenaPool.Put(ar)
+			workerPairs[w] = e.pairs
+			workerCounts[w] = e.count
+		}(w)
 	}
-	for _, t := range tasks {
-		jobs <- t
-	}
-	close(jobs)
 	wg.Wait()
+
+	for w := 0; w < workers; w++ {
+		collector.AddSnapshot(workerCols[w].Snapshot())
+		res.Count += workerCounts[w]
+		if !opts.DiscardPairs {
+			res.Pairs = append(res.Pairs, workerPairs[w]...)
+		}
+	}
 	res.Metrics = collector.Snapshot().Sub(before)
 	return res, nil
+}
+
+// splitTasks replaces every task whose two subtrees are directory nodes by
+// the qualifying pairs of their children, reading the two nodes through the
+// planning tracker.  It reports false when nothing could be split (all tasks
+// reference leaf nodes), in which case the task list is returned unchanged.
+//
+// Splitting preserves the result set: a child pair whose rectangles do not
+// intersect cannot contribute any result, and the search-space restriction
+// applied by the sequential algorithms never removes entries that take part
+// in an intersecting pair.
+func splitTasks(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker, plan *metrics.Local) ([]parallelTask, bool) {
+	split := false
+	out := make([]parallelTask, 0, 2*len(tasks))
+	var comps int64
+	for _, t := range tasks {
+		if t.er.Child.IsLeaf() || t.es.Child.IsLeaf() {
+			out = append(out, t)
+			continue
+		}
+		split = true
+		r.AccessNode(tracker, t.er.Child)
+		s.AccessNode(tracker, t.es.Child)
+		for _, er := range t.er.Child.Entries {
+			for _, es := range t.es.Child.Entries {
+				ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
+				comps += cost
+				if ok {
+					out = append(out, parallelTask{er: er, es: es})
+				}
+			}
+		}
+	}
+	plan.Comparisons += comps
+	if !split {
+		return tasks, false
+	}
+	return out, true
 }
 
 // ErrParallelNestedLoop is returned when ParallelJoin is asked to run the

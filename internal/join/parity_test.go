@@ -1,0 +1,234 @@
+package join
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// The golden values below were captured from the pre-refactor implementation
+// (per-operation atomic counting, entry-copy sorts, closure-based sweep) on
+// the deterministic datasets built by buildPair and buildHeightPair.  The
+// batched metrics.Local accounting, the index sorts and the allocation-free
+// sweep must reproduce every counter bit-identically, and the order-sensitive
+// hash pins the exact pair emission order (which the stable sorts and the
+// read schedules determine).
+type goldenRun struct {
+	label   string
+	metrics metrics.Snapshot
+	count   int
+	hash    uint64 // 0 = order not pinned for this configuration
+}
+
+// snap builds a Snapshot from the counters in declaration order:
+// comparisons, sort comparisons, disk reads/writes, buffer/path hits, bytes
+// read/written, node sorts, pairs tested/reported.
+func snap(comp, sortComp, dr, dw, bh, ph, br, bw, ns, pt, pr int64) metrics.Snapshot {
+	return metrics.Snapshot{
+		Comparisons: comp, SortComparisons: sortComp,
+		DiskReads: dr, DiskWrites: dw,
+		BufferHits: bh, PathHits: ph,
+		BytesRead: br, BytesWritten: bw,
+		NodeSorts: ns, PairsTested: pt, PairsReported: pr,
+	}
+}
+
+var goldenEqualHeights = []goldenRun{
+	{"NestedLoop", snap(5948377, 0, 118, 0, 3416, 0, 120832, 0, 0, 0, 46), 46, 2455035320889178970},
+	{"SpatialJoin1", snap(198998, 0, 97, 0, 53, 64, 99328, 0, 0, 127696, 46), 46, 8541608788100112254},
+	{"SpatialJoin2", snap(33006, 0, 97, 0, 53, 64, 99328, 0, 0, 7710, 46), 46, 8541608788100112254},
+	{"SpatialJoin3", snap(24227, 6197, 97, 0, 47, 70, 99328, 0, 158, 152, 46), 46, 8945983103180869958},
+	{"SpatialJoin4", snap(24227, 6197, 97, 0, 41, 76, 99328, 0, 158, 152, 46), 46, 15461635527682096422},
+	{"SpatialJoin5", snap(24227, 6197, 97, 0, 36, 81, 99328, 0, 158, 152, 46), 46, 8774010023287257590},
+}
+
+var goldenNoRestrict = goldenRun{
+	"SJ3-noRestrict", snap(16866, 36852, 97, 0, 117, 0, 99328, 0, 214, 152, 46), 46, 0,
+}
+
+var goldenHeights = []goldenRun{
+	{"heights-policy(a)", snap(30085, 28, 34, 0, 39, 311, 34816, 0, 2, 1197, 25), 25, 0},
+	{"heights-policy(b)", snap(30085, 28, 34, 0, 16, 15, 34816, 0, 2, 1197, 25), 25, 0},
+	{"heights-policy(c)", snap(28981, 1396, 34, 0, 17, 333, 34816, 0, 30, 366, 25), 25, 0},
+}
+
+// pairHash folds the pair stream into an order-sensitive FNV-1a hash.
+func pairHash(h *uint64) func(Pair) {
+	*h = 14695981039346656037
+	return func(p Pair) {
+		*h = (*h ^ uint64(uint32(p.R))) * 1099511628211
+		*h = (*h ^ uint64(uint32(p.S))) * 1099511628211
+	}
+}
+
+func buildHeightPair(t testing.TB) (*rtree.Tree, *rtree.Tree) {
+	t.Helper()
+	big := datagen.Generate(datagen.Config{Kind: datagen.Streets, Count: 6000, Seed: 42})
+	small := datagen.Generate(datagen.Config{Kind: datagen.Rivers, Count: 300, Seed: 43})
+	rb := rtree.MustNew(rtree.Options{PageSize: storage.PageSize1K})
+	sb := rtree.MustNew(rtree.Options{PageSize: storage.PageSize1K})
+	rb.InsertItems(big)
+	sb.InsertItems(small)
+	if rb.Height() == sb.Height() {
+		t.Fatalf("want different heights, got %d and %d", rb.Height(), sb.Height())
+	}
+	return rb, sb
+}
+
+func checkGolden(t *testing.T, want goldenRun, got metrics.Snapshot, count int, hash uint64) {
+	t.Helper()
+	if got != want.metrics {
+		t.Errorf("%s: metrics drifted from the per-op counting baseline:\n got  %#v\n want %#v", want.label, got, want.metrics)
+	}
+	if count != want.count {
+		t.Errorf("%s: count = %d, want %d", want.label, count, want.count)
+	}
+	if want.hash != 0 && hash != want.hash {
+		t.Errorf("%s: pair emission order changed: hash %d, want %d", want.label, hash, want.hash)
+	}
+}
+
+// TestBatchedCountingMatchesPerOpGolden asserts that the batched
+// metrics.Local accounting of the join hot path yields snapshots that are
+// byte-identical to the per-operation atomic counting it replaced, for every
+// algorithm SJ1-SJ5, the nested-loop baseline, the no-restriction ablation
+// and all three height policies.
+func TestBatchedCountingMatchesPerOpGolden(t *testing.T) {
+	r, s, _, _ := buildPair(t, 2000, 2000, storage.PageSize1K)
+	for i, m := range append([]Method{NestedLoop}, Methods...) {
+		var h uint64
+		res, err := Join(r, s, Options{Method: m, BufferBytes: 64 << 10, UsePathBuffer: true, OnPair: pairHash(&h)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, goldenEqualHeights[i], res.Metrics, res.Count, h)
+	}
+
+	res, err := Join(r, s, Options{Method: SJ3, BufferBytes: 64 << 10, DisableRestriction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, goldenNoRestrict, res.Metrics, res.Count, 0)
+
+	rb, sb := buildHeightPair(t)
+	for i, pol := range []HeightPolicy{PolicyWindowPerPair, PolicyBatchedWindows, PolicySweepOrder} {
+		res, err := Join(rb, sb, Options{Method: SJ4, BufferBytes: 32 << 10, UsePathBuffer: true, HeightPolicy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, goldenHeights[i], res.Metrics, res.Count, 0)
+	}
+}
+
+// TestJoinIsDeterministic asserts that repeated runs of every algorithm
+// produce identical snapshots and identical pair orders: batch flushing must
+// not introduce any run-to-run variation.
+func TestJoinIsDeterministic(t *testing.T) {
+	r, s, _, _ := buildPair(t, 1500, 1500, storage.PageSize1K)
+	for _, m := range Methods {
+		var h1, h2 uint64
+		res1, err := Join(r, s, Options{Method: m, BufferBytes: 32 << 10, UsePathBuffer: true, OnPair: pairHash(&h1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := Join(r, s, Options{Method: m, BufferBytes: 32 << 10, UsePathBuffer: true, OnPair: pairHash(&h2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res1.Metrics != res2.Metrics || res1.Count != res2.Count || h1 != h2 {
+			t.Errorf("%v: two identical runs disagree: %+v/%d/%d vs %+v/%d/%d",
+				m, res1.Metrics, res1.Count, h1, res2.Metrics, res2.Count, h2)
+		}
+	}
+}
+
+// TestParallelJoinCountsMatchSequential asserts that the contention-free
+// parallel execution reports exactly the sequential result count and pair set
+// for every method and worker count (run under -race in CI).
+func TestParallelJoinCountsMatchSequential(t *testing.T) {
+	r, s, _, _ := buildPair(t, 3000, 3000, storage.PageSize1K)
+	for _, method := range Methods {
+		seq, err := Join(r, s, Options{Method: method, BufferBytes: 128 << 10, UsePathBuffer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := asPairSet(seq.Pairs)
+		for _, workers := range []int{1, 3, 8, 64} {
+			par, err := ParallelJoin(r, s, ParallelOptions{
+				Options: Options{Method: method, BufferBytes: 128 << 10, UsePathBuffer: true},
+				Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("%v/%d: %v", method, workers, err)
+			}
+			if par.Count != seq.Count {
+				t.Fatalf("%v/%d workers: count %d, sequential %d", method, workers, par.Count, seq.Count)
+			}
+			got := asPairSet(par.Pairs)
+			if len(got) != len(want) {
+				t.Fatalf("%v/%d workers: %d distinct pairs, want %d", method, workers, len(got), len(want))
+			}
+			for p := range want {
+				if !got[p] {
+					t.Fatalf("%v/%d workers: missing pair %v", method, workers, p)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelJoinTinyBufferStillBuffers exercises the buffer-partitioning
+// fix: with BufferBytes set to less than one page per worker, every worker
+// must still get at least one page instead of silently losing buffering.
+func TestParallelJoinTinyBufferStillBuffers(t *testing.T) {
+	r, s, _, _ := buildPair(t, 3000, 3000, storage.PageSize1K)
+	seq, err := Join(r, s, Options{Method: SJ4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 workers but only 2 pages worth of buffer: the unfixed partitioning
+	// computed 2048/3 = 682 bytes per worker, truncating to a zero-page
+	// buffer and silently disabling buffering (and with it SJ4's pinning).
+	res, err := ParallelJoin(r, s, ParallelOptions{
+		Options: Options{Method: SJ4, BufferBytes: 2 * storage.PageSize1K},
+		Workers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != seq.Count {
+		t.Fatalf("count %d, sequential %d", res.Count, seq.Count)
+	}
+	if res.Metrics.BufferHits == 0 {
+		t.Fatal("per-worker buffers must hold at least one page, got zero buffer hits")
+	}
+}
+
+// TestParallelJoinSplitsSmallFanOut asserts that a worker count exceeding the
+// root fan-out still yields the sequential result (the planner splits the
+// task list one level deeper until it offers enough parallelism).
+func TestParallelJoinSplitsSmallFanOut(t *testing.T) {
+	r, s, itemsR, itemsS := buildPair(t, 2000, 2000, storage.PageSize4K)
+	rootFanOut := len(r.Root().Entries) * len(s.Root().Entries)
+	workers := rootFanOut + 13
+	res, err := ParallelJoin(r, s, ParallelOptions{
+		Options: Options{Method: SJ4, BufferBytes: 64 << 10},
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForce(itemsR, itemsS)
+	got := asPairSet(res.Pairs)
+	if len(got) != len(want) {
+		t.Fatalf("%d distinct pairs, want %d", len(got), len(want))
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("missing pair %v", p)
+		}
+	}
+}

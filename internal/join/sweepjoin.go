@@ -1,8 +1,6 @@
 package join
 
 import (
-	"sort"
-
 	"repro/internal/geom"
 	"repro/internal/rtree"
 	"repro/internal/sweep"
@@ -19,21 +17,18 @@ func (e *executor) runSweep(method Method) {
 	if !ok {
 		return
 	}
-	e.sweepJoin(e.r.Root(), e.s.Root(), rootRect, method)
-}
-
-// nodePair is one qualifying pair of entries produced by the intersection
-// test of a node pair, carrying the indexes into the restricted entry slices.
-type nodePair struct {
-	ri, si int
-	zkey   uint64
+	e.sweepJoin(e.r.Root(), e.s.Root(), rootRect, method, 0)
 }
 
 // sweepJoin joins two nodes using spatial sorting and the plane-sweep
 // intersection test (section 4.2) and schedules the child reads according to
-// the selected method (section 4.3).
-func (e *executor) sweepJoin(nr, ns *rtree.Node, rect geom.Rect, method Method) {
+// the selected method (section 4.3).  All scratch space comes from the
+// arena's frame for this depth, so in steady state the routine allocates
+// nothing; the accumulated costs are flushed to the shared collector once
+// when the node pair is done.
+func (e *executor) sweepJoin(nr, ns *rtree.Node, rect geom.Rect, method Method, depth int) {
 	if handled := e.handleHeightDifference(nr, ns, &rect); handled {
+		e.local.FlushTo(e.metrics)
 		return
 	}
 
@@ -41,36 +36,40 @@ func (e *executor) sweepJoin(nr, ns *rtree.Node, rect geom.Rect, method Method) 
 	// sort the surviving entries by their lower x-corner.  In the paper the
 	// entries are sorted each time a page is read into the buffer; the
 	// sorting comparisons are charged separately (Table 4).  Version (I) of
-	// Table 4 skips the restriction to isolate the effect of sorting.
-	var rEntries, sEntries []rtree.Entry
+	// Table 4 skips the restriction to isolate the effect of sorting.  The
+	// entries themselves are never copied or reordered: the sort permutes a
+	// reusable index vector.
+	f := e.arena.frame(depth)
 	if e.opts.DisableRestriction {
-		rEntries = append([]rtree.Entry(nil), nr.Entries...)
-		sEntries = append([]rtree.Entry(nil), ns.Entries...)
+		f.rIdx = appendAllIdx(f.rIdx[:0], len(nr.Entries))
+		f.sIdx = appendAllIdx(f.sIdx[:0], len(ns.Entries))
 	} else {
-		rEntries = e.restrict(nr.Entries, rect)
-		sEntries = e.restrict(ns.Entries, rect)
+		f.rIdx = e.restrictIdx(nr.Entries, rect, f.rIdx[:0])
+		f.sIdx = e.restrictIdx(ns.Entries, rect, f.sIdx[:0])
 	}
-	if len(rEntries) == 0 || len(sEntries) == 0 {
+	if len(f.rIdx) == 0 || len(f.sIdx) == 0 {
+		e.local.FlushTo(e.metrics)
 		return
 	}
-	rRects := e.sortEntries(rEntries)
-	sRects := e.sortEntries(sEntries)
+	e.sortIdxByXL(f.rIdx, nr.Entries)
+	e.sortIdxByXL(f.sIdx, ns.Entries)
+	f.rRects = gatherRects(f.rRects[:0], nr.Entries, f.rIdx)
+	f.sRects = gatherRects(f.sRects[:0], ns.Entries, f.sIdx)
 
 	// The sorted intersection test produces the qualifying pairs in local
 	// plane-sweep order.
-	var pairs []nodePair
-	sweep.SortedIntersectionTest(rRects, sRects, e.metrics, func(p sweep.Pair) {
-		e.metrics.AddPairTested()
-		pairs = append(pairs, nodePair{ri: p.R, si: p.S})
-	})
-	if len(pairs) == 0 {
+	f.pairs = sweep.AppendPairs(f.rRects, f.sRects, &e.local, f.pairs[:0])
+	e.local.PairsTested += int64(len(f.pairs))
+	if len(f.pairs) == 0 {
+		e.local.FlushTo(e.metrics)
 		return
 	}
 
 	if nr.IsLeaf() && ns.IsLeaf() {
-		for _, p := range pairs {
-			e.emit(Pair{R: rEntries[p.ri].Data, S: sEntries[p.si].Data})
+		for _, p := range f.pairs {
+			e.emit(Pair{R: nr.Entries[f.rIdx[p.R]].Data, S: ns.Entries[f.sIdx[p.S]].Data})
 		}
+		e.local.FlushTo(e.metrics)
 		return
 	}
 
@@ -79,49 +78,37 @@ func (e *executor) sweepJoin(nr, ns *rtree.Node, rect geom.Rect, method Method) 
 		// the centre of their intersection rectangles.  The grid covers the
 		// current node pair's search space.
 		world := nr.MBR().Union(ns.MBR())
-		for i := range pairs {
-			in, _ := rEntries[pairs[i].ri].Rect.Intersection(sEntries[pairs[i].si].Rect)
-			pairs[i].zkey = zorder.RectKey(in, world)
+		f.zkeys = f.zkeys[:0]
+		for _, p := range f.pairs {
+			in, _ := nr.Entries[f.rIdx[p.R]].Rect.Intersection(ns.Entries[f.sIdx[p.S]].Rect)
+			f.zkeys = append(f.zkeys, zorder.RectKey(in, world))
 		}
-		sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].zkey < pairs[j].zkey })
+		e.zsorter.pairs = f.pairs
+		e.zsorter.zkeys = f.zkeys
+		stableSort(&e.zsorter, len(f.pairs))
+		e.zsorter.pairs, e.zsorter.zkeys = nil, nil
 	}
+	e.local.FlushTo(e.metrics)
 
 	switch method {
 	case SJ3:
-		for _, p := range pairs {
-			e.descend(rEntries[p.ri], sEntries[p.si], method)
+		for _, p := range f.pairs {
+			e.descend(nr.Entries[f.rIdx[p.R]], ns.Entries[f.sIdx[p.S]], method, depth)
 		}
 	default: // SJ4 and SJ5 use pinning.
-		e.processWithPinning(rEntries, sEntries, pairs, method)
+		e.processWithPinning(nr, ns, f, method, depth)
 	}
-}
-
-// sortEntries sorts the entries in place by the lower x-corner of their
-// rectangles and returns the parallel slice of rectangles.  Sorting
-// comparisons are charged to the sorting counter and the sort itself is
-// recorded for the repeat-factor statistics.
-func (e *executor) sortEntries(entries []rtree.Entry) []geom.Rect {
-	e.metrics.AddNodeSort()
-	sort.SliceStable(entries, func(i, j int) bool {
-		e.metrics.AddSortComparisons(1)
-		return entries[i].Rect.XL < entries[j].Rect.XL
-	})
-	rects := make([]geom.Rect, len(entries))
-	for i, en := range entries {
-		rects[i] = en.Rect
-	}
-	return rects
 }
 
 // descend reads the two child pages and joins them recursively.
-func (e *executor) descend(er, es rtree.Entry, method Method) {
+func (e *executor) descend(er, es rtree.Entry, method Method, depth int) {
 	childRect, ok := er.Rect.Intersection(es.Rect)
 	if !ok {
 		return
 	}
 	e.r.AccessNode(e.tracker, er.Child)
 	e.s.AccessNode(e.tracker, es.Child)
-	e.sweepJoin(er.Child, es.Child, childRect, method)
+	e.sweepJoin(er.Child, es.Child, childRect, method, depth+1)
 }
 
 // processWithPinning processes the qualifying pairs in schedule order and,
@@ -129,25 +116,35 @@ func (e *executor) descend(er, es rtree.Entry, method Method) {
 // number of unprocessed rectangles of the other node it intersects) and
 // completely processes that page before returning to the schedule
 // (section 4.3, "local plane-sweep order with pinning").
-func (e *executor) processWithPinning(rEntries, sEntries []rtree.Entry, pairs []nodePair, method Method) {
-	processed := make([]bool, len(pairs))
-	// degR[i] counts the remaining pairs involving rEntries[i]; degS likewise.
-	degR := make([]int, len(rEntries))
-	degS := make([]int, len(sEntries))
+func (e *executor) processWithPinning(nr, ns *rtree.Node, f *frame, method Method, depth int) {
+	pairs := f.pairs
+	f.processed = f.processed[:0]
+	f.degR = f.degR[:0]
+	f.degS = f.degS[:0]
+	for range pairs {
+		f.processed = append(f.processed, false)
+	}
+	// degR[i] counts the remaining pairs involving f.rIdx[i]; degS likewise.
+	for range f.rIdx {
+		f.degR = append(f.degR, 0)
+	}
+	for range f.sIdx {
+		f.degS = append(f.degS, 0)
+	}
 	for _, p := range pairs {
-		degR[p.ri]++
-		degS[p.si]++
+		f.degR[p.R]++
+		f.degS[p.S]++
 	}
 	processPair := func(idx int) {
 		p := pairs[idx]
-		processed[idx] = true
-		degR[p.ri]--
-		degS[p.si]--
-		e.descend(rEntries[p.ri], sEntries[p.si], method)
+		f.processed[idx] = true
+		f.degR[p.R]--
+		f.degS[p.S]--
+		e.descend(nr.Entries[f.rIdx[p.R]], ns.Entries[f.sIdx[p.S]], method, depth)
 	}
 
 	for i := range pairs {
-		if processed[i] {
+		if f.processed[i] {
 			continue
 		}
 		p := pairs[i]
@@ -155,20 +152,20 @@ func (e *executor) processWithPinning(rEntries, sEntries []rtree.Entry, pairs []
 
 		// Pin the page with the larger remaining degree and finish all of its
 		// pairs while it is guaranteed to stay in the buffer.
-		if degR[p.ri] >= degS[p.si] && degR[p.ri] > 0 {
-			er := rEntries[p.ri]
+		if f.degR[p.R] >= f.degS[p.S] && f.degR[p.R] > 0 {
+			er := nr.Entries[f.rIdx[p.R]]
 			e.tracker.Pin(e.r.ID(), er.Child.ID)
 			for j := i + 1; j < len(pairs); j++ {
-				if !processed[j] && pairs[j].ri == p.ri {
+				if !f.processed[j] && pairs[j].R == p.R {
 					processPair(j)
 				}
 			}
 			e.tracker.Unpin(e.r.ID(), er.Child.ID)
-		} else if degS[p.si] > 0 {
-			es := sEntries[p.si]
+		} else if f.degS[p.S] > 0 {
+			es := ns.Entries[f.sIdx[p.S]]
 			e.tracker.Pin(e.s.ID(), es.Child.ID)
 			for j := i + 1; j < len(pairs); j++ {
-				if !processed[j] && pairs[j].si == p.si {
+				if !f.processed[j] && pairs[j].S == p.S {
 					processPair(j)
 				}
 			}

@@ -1,0 +1,60 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestAppendPairsMatchesSortedIntersectionTest asserts that the
+// allocation-free batched sweep produces exactly the pairs, pair order and
+// comparison count of the callback-based reference implementation.
+func TestAppendPairsMatchesSortedIntersectionTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		rseq := randomRects(rng, rng.Intn(60), 0.2)
+		sseq := randomRects(rng, rng.Intn(60), 0.2)
+		SortByXL(rseq, metrics.NewCollector())
+		SortByXL(sseq, metrics.NewCollector())
+
+		ref := metrics.NewCollector()
+		var want []Pair
+		SortedIntersectionTest(rseq, sseq, ref, func(p Pair) { want = append(want, p) })
+
+		var local metrics.Local
+		got := AppendPairs(rseq, sseq, &local, nil)
+
+		if local.Comparisons != ref.Comparisons() {
+			t.Fatalf("trial=%d: AppendPairs charged %d comparisons, reference charged %d",
+				trial, local.Comparisons, ref.Comparisons())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial=%d: %d pairs, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial=%d: pair %d is %v, want %v (order must match)", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAppendPairsReusesBuffer asserts the append contract: passing the
+// previous result truncated to zero length must reuse its backing array.
+func TestAppendPairsReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rseq := randomRects(rng, 40, 0.2)
+	sseq := randomRects(rng, 40, 0.2)
+	SortByXL(rseq, metrics.NewCollector())
+	SortByXL(sseq, metrics.NewCollector())
+
+	buf := AppendPairs(rseq, sseq, nil, nil)
+	if cap(buf) == 0 {
+		t.Skip("no intersecting pairs in random data")
+	}
+	again := AppendPairs(rseq, sseq, nil, buf[:0])
+	if &again[0] != &buf[0] {
+		t.Fatal("AppendPairs must append into the provided buffer")
+	}
+}

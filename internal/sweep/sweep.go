@@ -56,24 +56,25 @@ func IsSortedByXL(rects []geom.Rect) bool {
 // SortedIntersectionTest reports every intersecting pair between rseq and
 // sseq to emit, in local plane-sweep order.  Both sequences must already be
 // sorted by the lower x-corner (use SortByXL).  Floating-point comparisons
-// spent on the sweep (x-axis scans and y-interval tests) are charged to m.
+// spent on the sweep (x-axis scans and y-interval tests) are charged to c;
+// both *metrics.Collector and *metrics.Local satisfy the interface.
 //
 // The implementation follows the paper's two-procedure formulation: the outer
 // loop advances the sweep line to the unprocessed rectangle with the smallest
 // xl value; InternalLoop then scans the other sequence from its first
 // unprocessed rectangle until the x-projections no longer overlap.
-func SortedIntersectionTest(rseq, sseq []geom.Rect, m *metrics.Collector, emit func(Pair)) {
+func SortedIntersectionTest(rseq, sseq []geom.Rect, c geom.ComparisonCounter, emit func(Pair)) {
 	i, j := 0, 0
 	for i < len(rseq) && j < len(sseq) {
-		if geom.CompareCounted(rseq[i].XL, sseq[j].XL, m) {
+		if geom.CompareCounted(rseq[i].XL, sseq[j].XL, c) {
 			// The sweep line stops at t = rseq[i]; scan sseq from j.
-			internalLoop(rseq[i], sseq, j, m, func(k int) {
+			internalLoop(rseq[i], sseq, j, c, func(k int) {
 				emit(Pair{R: i, S: k})
 			})
 			i++
 		} else {
 			// The sweep line stops at t = sseq[j]; scan rseq from i.
-			internalLoop(sseq[j], rseq, i, m, func(k int) {
+			internalLoop(sseq[j], rseq, i, c, func(k int) {
 				emit(Pair{R: k, S: j})
 			})
 			j++
@@ -84,35 +85,84 @@ func SortedIntersectionTest(rseq, sseq []geom.Rect, m *metrics.Collector, emit f
 // internalLoop scans seq starting at position unmarked while the x-projection
 // of seq[k] still intersects the x-projection of t, reporting indices whose
 // y-projections intersect as well.
-func internalLoop(t geom.Rect, seq []geom.Rect, unmarked int, m *metrics.Collector, hit func(k int)) {
+func internalLoop(t geom.Rect, seq []geom.Rect, unmarked int, c geom.ComparisonCounter, hit func(k int)) {
 	for k := unmarked; k < len(seq); k++ {
 		// x-intersection test: seq[k].xl <= t.xu.
-		if geom.CompareCounted(t.XU, seq[k].XL, m) {
+		if geom.CompareCounted(t.XU, seq[k].XL, c) {
 			// seq[k].xl > t.xu: no further rectangle can overlap in x.
 			return
 		}
-		if geom.IntersectsIntervalCounted(t, seq[k], m) {
+		if geom.IntersectsIntervalCounted(t, seq[k], c) {
 			hit(k)
 		}
 	}
 }
 
-// Pairs runs SortedIntersectionTest and collects the result into a slice.
-func Pairs(rseq, sseq []geom.Rect, m *metrics.Collector) []Pair {
-	var out []Pair
-	SortedIntersectionTest(rseq, sseq, m, func(p Pair) { out = append(out, p) })
+// AppendPairs is the allocation-free form of SortedIntersectionTest used by
+// the join hot path: instead of invoking a callback per pair (whose closure
+// would escape and allocate once per node pair) it appends the pairs to out
+// and returns the extended slice.  The comparison cost is accumulated in a
+// plain local integer and charged to c exactly once, so a node pair costs one
+// counter update instead of one per comparison.  The pair order and the total
+// number of comparisons charged are identical to SortedIntersectionTest.
+func AppendPairs(rseq, sseq []geom.Rect, c geom.ComparisonCounter, out []Pair) []Pair {
+	var n int64
+	i, j := 0, 0
+	for i < len(rseq) && j < len(sseq) {
+		n++
+		if rseq[i].XL < sseq[j].XL {
+			// The sweep line stops at t = rseq[i]; scan sseq from j.
+			t := rseq[i]
+			for k := j; k < len(sseq); k++ {
+				n++
+				if t.XU < sseq[k].XL {
+					break
+				}
+				ok, cost := geom.IntersectsIntervalCost(t, sseq[k])
+				n += cost
+				if ok {
+					out = append(out, Pair{R: i, S: k})
+				}
+			}
+			i++
+		} else {
+			// The sweep line stops at t = sseq[j]; scan rseq from i.
+			t := sseq[j]
+			for k := i; k < len(rseq); k++ {
+				n++
+				if t.XU < rseq[k].XL {
+					break
+				}
+				ok, cost := geom.IntersectsIntervalCost(t, rseq[k])
+				n += cost
+				if ok {
+					out = append(out, Pair{R: k, S: j})
+				}
+			}
+			j++
+		}
+	}
+	if c != nil && n != 0 {
+		c.AddComparisons(n)
+	}
 	return out
+}
+
+// Pairs runs the sorted intersection test and collects the result into a
+// fresh slice.
+func Pairs(rseq, sseq []geom.Rect, c geom.ComparisonCounter) []Pair {
+	return AppendPairs(rseq, sseq, c, nil)
 }
 
 // NestedLoopPairs computes all intersecting pairs by testing every rectangle
 // of rseq against every rectangle of sseq, charging the join-condition
-// comparisons to m.  It is the reference algorithm for correctness tests and
+// comparisons to c.  It is the reference algorithm for correctness tests and
 // the CPU-cost baseline of SpatialJoin1.
-func NestedLoopPairs(rseq, sseq []geom.Rect, m *metrics.Collector) []Pair {
+func NestedLoopPairs(rseq, sseq []geom.Rect, c geom.ComparisonCounter) []Pair {
 	var out []Pair
 	for i, r := range rseq {
 		for j, s := range sseq {
-			if geom.IntersectsCounted(r, s, m) {
+			if geom.IntersectsCounted(r, s, c) {
 				out = append(out, Pair{R: i, S: j})
 			}
 		}
