@@ -263,6 +263,40 @@ func BenchmarkSTRBulkLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildRTreeDynamic measures full R*-tree construction by dynamic
+// insertion (the paper's build method), the dominant allocator of every
+// end-to-end experiment run before the build arena.
+func BenchmarkBuildRTreeDynamic(b *testing.B) {
+	items := GenerateDataset(DatasetConfig{Kind: Streets, Count: 20000, Seed: 9})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := BuildRTree(RTreeOptions{PageSize: PageSize2K}, items, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.Len() != len(items) {
+			b.Fatal("lost entries")
+		}
+	}
+}
+
+// BenchmarkBuildRTreeSTR measures STR bulk loading of the same data.
+func BenchmarkBuildRTreeSTR(b *testing.B) {
+	items := GenerateDataset(DatasetConfig{Kind: Streets, Count: 20000, Seed: 9})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := BuildRTree(RTreeOptions{PageSize: PageSize2K}, items, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.Len() != len(items) {
+			b.Fatal("lost entries")
+		}
+	}
+}
+
 // BenchmarkWindowQuery measures the single-scan query the paper's
 // introduction motivates.
 func BenchmarkWindowQuery(b *testing.B) {
@@ -348,6 +382,134 @@ func BenchmarkParallelJoin(b *testing.B) {
 					b.Fatal("empty result")
 				}
 			}
+		})
+	}
+}
+
+// --- Large-tree join benchmarks --------------------------------------------
+//
+// The small bench trees above (8k rects) finish a join in about a
+// millisecond, so ParallelJoin's planning and spawn cost dominates and the
+// parallel speedup cannot show.  The large family joins two 120k-rect trees
+// (STR bulk loaded; dynamic insertion of trees this size is what
+// BenchmarkBuildRTreeDynamic measures) where the sequential sweep join runs
+// long enough for the work partitioning to amortise.
+
+const largeBenchCount = 120000
+
+var (
+	largeTreesOnce sync.Once
+	largeTreeR     *rtree.Tree
+	largeTreeS     *rtree.Tree
+)
+
+func largeTreesForBench() (*rtree.Tree, *rtree.Tree) {
+	largeTreesOnce.Do(func() {
+		itemsR := GenerateDataset(DatasetConfig{Kind: Streets, Count: largeBenchCount, Seed: 31})
+		itemsS := GenerateDataset(DatasetConfig{Kind: Rivers, Count: largeBenchCount, Seed: 32})
+		var err error
+		largeTreeR, err = BuildRTree(RTreeOptions{PageSize: PageSize4K}, itemsR, true)
+		if err != nil {
+			panic(err)
+		}
+		largeTreeS, err = BuildRTree(RTreeOptions{PageSize: PageSize4K}, itemsS, true)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return largeTreeR, largeTreeS
+}
+
+// BenchmarkLargeJoinSequential is the sequential SweepJoin (SJ4) baseline on
+// the large tree pair.
+func BenchmarkLargeJoinSequential(b *testing.B) {
+	r, s := largeTreesForBench()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := TreeJoin(r, s, JoinOptions{
+			Method:        SpatialJoin4,
+			BufferBytes:   1 << 20,
+			UsePathBuffer: true,
+			DiscardPairs:  true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Count == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkLargeJoinParallel sweeps the worker count on the large tree pair;
+// the 8-worker configuration is the scaling target recorded in BENCH_2.json.
+func BenchmarkLargeJoinParallel(b *testing.B) {
+	r, s := largeTreesForBench()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := ParallelTreeJoin(r, s, ParallelJoinOptions{
+					Options: JoinOptions{
+						Method:        SpatialJoin4,
+						BufferBytes:   1 << 20,
+						UsePathBuffer: true,
+						DiscardPairs:  true,
+					},
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Count == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLargeJoinParallelStatic runs the deterministic static schedule
+// and reports "est-speedup": the cost-model (section 5) speedup of the
+// partitioned execution's critical path — planning plus the slowest worker —
+// over the sequential SJ4 baseline.  This is the paper's simulation-style
+// measure of parallel scaling; wall-clock ns/op can only show the speedup on
+// a machine that actually has the cores, whereas the counted costs show the
+// quality of the partitioning anywhere.
+func BenchmarkLargeJoinParallelStatic(b *testing.B) {
+	r, s := largeTreesForBench()
+	opts := JoinOptions{
+		Method:        SpatialJoin4,
+		BufferBytes:   1 << 20,
+		UsePathBuffer: true,
+		DiscardPairs:  true,
+	}
+	seq, err := TreeJoin(r, s, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := DefaultCostModel()
+	seqEst := model.EstimateSnapshot(seq.Metrics, r.PageSize())
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			speedup := 0.0
+			for i := 0; i < b.N; i++ {
+				res, err := ParallelTreeJoin(r, s, ParallelJoinOptions{
+					Options:         opts,
+					Workers:         workers,
+					StaticPartition: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				par := experiments.ParallelEstimate(model, res, r.PageSize())
+				if par.TotalSeconds() > 0 {
+					speedup = seqEst.TotalSeconds() / par.TotalSeconds()
+				}
+			}
+			b.ReportMetric(speedup, "est-speedup")
 		})
 	}
 }

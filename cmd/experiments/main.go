@@ -32,12 +32,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		scale   = fs.Float64("scale", experiments.DefaultScale, "fraction of the paper's data-set cardinalities")
-		table   = fs.Int("table", 0, "run only this table (1-8)")
-		figure  = fs.Int("figure", 0, "run only this figure (2, 8, 9 or 10)")
-		bulk    = fs.Bool("bulk", false, "build trees with STR bulk loading instead of insertion")
-		pages   = fs.String("pages", "", "comma-separated page sizes in bytes (default 1024,2048,4096,8192)")
-		buffers = fs.String("buffers", "", "comma-separated LRU buffer sizes in KByte (default 0,8,32,128,512)")
+		scale    = fs.Float64("scale", experiments.DefaultScale, "fraction of the paper's data-set cardinalities")
+		table    = fs.Int("table", 0, "run only this table (1-8)")
+		figure   = fs.Int("figure", 0, "run only this figure (2, 8, 9 or 10)")
+		bulk     = fs.Bool("bulk", false, "build trees with STR bulk loading instead of insertion")
+		parallel = fs.Bool("parallel", false, "run only the parallel load-balance experiment (extension)")
+		pages    = fs.String("pages", "", "comma-separated page sizes in bytes (default 1024,2048,4096,8192)")
+		buffers  = fs.String("buffers", "", "comma-separated LRU buffer sizes in KByte (default 0,8,32,128,512)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +60,8 @@ func run(args []string, out io.Writer) error {
 
 	suite := repro.NewExperimentSuite(cfg)
 	switch {
+	case *parallel:
+		experiments.PrintTableParallel(out, suite.TableParallel())
 	case *table == 0 && *figure == 0:
 		suite.RunAll(out)
 	case *table != 0:

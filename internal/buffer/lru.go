@@ -65,14 +65,20 @@ func NewLRU(capacity int) *LRU {
 	}
 }
 
-// NewLRUForBytes returns a buffer sized bufferBytes/pageSize pages, the way
-// the paper derives the number of buffer frames from the buffer size in
-// KBytes and the page size.
-func NewLRUForBytes(bufferBytes, pageSize int) *LRU {
+// framesForBytes derives the number of buffer frames from a buffer size and
+// a page size, the way the paper derives them from the buffer size in KBytes.
+// NewLRUForBytes and ReconfigureForBytes share it so pooled and fresh buffers
+// always agree on capacity.
+func framesForBytes(bufferBytes, pageSize int) int {
 	if pageSize <= 0 {
-		return NewLRU(0)
+		return 0
 	}
-	return NewLRU(bufferBytes / pageSize)
+	return bufferBytes / pageSize
+}
+
+// NewLRUForBytes returns a buffer sized bufferBytes/pageSize pages.
+func NewLRUForBytes(bufferBytes, pageSize int) *LRU {
+	return NewLRU(framesForBytes(bufferBytes, pageSize))
 }
 
 // Capacity returns the number of page frames.
@@ -219,6 +225,19 @@ func (b *LRU) Unpin(k FrameKey) {
 func (b *LRU) Pinned(k FrameKey) bool {
 	i, ok := b.frames[k]
 	return ok && b.nodes[i].pins > 0
+}
+
+// ReconfigureForBytes empties the buffer and resizes it to bufferBytes /
+// pageSize frames, keeping the frame pool and map storage.  Pooled buffers
+// (ParallelJoin's resident worker state) use it to be reused across joins
+// with different buffer configurations without reallocating.
+func (b *LRU) ReconfigureForBytes(bufferBytes, pageSize int) {
+	capacity := framesForBytes(bufferBytes, pageSize)
+	if capacity < 0 {
+		capacity = 0
+	}
+	b.capacity = capacity
+	b.Reset()
 }
 
 // Reset empties the buffer and clears all pins, keeping the frame pool so a

@@ -95,3 +95,14 @@ func (t *Tracker) Reset() {
 		p.Reset()
 	}
 }
+
+// Reconfigure prepares a pooled tracker for a new run: accesses are charged
+// to m with the given page size and path-buffer setting, and the per-tree
+// path buffers are dropped (the next run joins different trees).  The LRU
+// buffer is not touched; callers reconfigure it separately.
+func (t *Tracker) Reconfigure(m *metrics.Collector, pageSize int, usePathBuffer bool) {
+	t.metrics = m
+	t.pageSize = pageSize
+	t.usePath = usePathBuffer
+	clear(t.paths)
+}

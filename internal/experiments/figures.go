@@ -72,10 +72,10 @@ func PrintFigure(w io.Writer, s *Suite, caption string, points []FigurePoint) {
 // Figure9Point is one bar of Figure 9: the estimated-total-time improvement
 // factor of SJ4 over a reference algorithm for one configuration.
 type Figure9Point struct {
-	PageSize  int
-	BufferKB  int
-	OverSJ1   float64
-	OverSJ2   float64
+	PageSize int
+	BufferKB int
+	OverSJ1  float64
+	OverSJ2  float64
 }
 
 // Figure9 computes the improvement factor of SJ4 over SJ1 and over SJ2 in
@@ -177,4 +177,5 @@ func (s *Suite) RunAll(w io.Writer) {
 	PrintFigure9(w, s.Figure9())
 	PrintTable8(w, s.Table8())
 	PrintFigure10(w, s.Figure10())
+	PrintTableParallel(w, s.TableParallel())
 }

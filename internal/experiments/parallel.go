@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/costmodel"
+	"repro/internal/join"
+	"repro/internal/storage"
+)
+
+// ---------------------------------------------------------------------------
+// Parallel join load balance (extension; the paper's future-work section).
+// ---------------------------------------------------------------------------
+
+// ParallelPageSize and ParallelBufferKB fix the configuration of the
+// parallel-scaling experiment: the paper's recommended SJ4 at 4 KByte pages
+// with a 128 KByte buffer, partitioned across the workers.
+const (
+	ParallelPageSize = storage.PageSize4K
+	ParallelBufferKB = 128
+)
+
+// ParallelWorkerCounts are the worker counts swept by the experiment.
+var ParallelWorkerCounts = []int{1, 2, 4, 8}
+
+// ParallelRow summarises one ParallelJoin run: the total work and how evenly
+// it spread across the workers.  Skews are max/mean ratios over the
+// per-worker snapshots (1.00 = perfectly balanced); the paper's cost
+// measures are CPU comparisons and disk accesses, so those are the measures
+// whose balance decides the parallel speedup.
+type ParallelRow struct {
+	Workers      int
+	Tasks        int
+	Pairs        int
+	DiskAccesses int64
+	TaskSkew     float64 // max/mean sub-join tasks per worker
+	CompSkew     float64 // max/mean join comparisons per worker
+	PairSkew     float64 // max/mean result pairs per worker
+	// EstSpeedup is the speedup in estimated execution time (the paper's
+	// section-5 cost model) of the parallel run over the sequential SJ4 with
+	// the same total buffer: sequential estimate divided by the parallel
+	// critical path (planning cost plus the slowest worker's estimate).  This
+	// is the measure a single-core benchmark machine cannot show in
+	// wall-clock time.
+	EstSpeedup float64
+}
+
+// skew returns max/mean of the values, or 0 when the mean is zero.
+func skew(values []int64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, v := range values {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(values))
+	return float64(max) / mean
+}
+
+// TableParallel joins the main pair with ParallelJoin (SJ4) for each worker
+// count and reports the per-worker load-balance skew, using the per-worker
+// snapshots the parallel executor publishes.
+func (s *Suite) TableParallel() []ParallelRow {
+	r, t := s.mainPair(ParallelPageSize)
+	seq := s.runJoin(r, t, join.SJ4, ParallelBufferKB, nil)
+	seqEst := s.model.EstimateSnapshot(seq.Metrics, ParallelPageSize)
+	var rows []ParallelRow
+	for _, w := range ParallelWorkerCounts {
+		res, err := join.ParallelJoin(r, t, join.ParallelOptions{
+			Options: join.Options{
+				Method:        join.SJ4,
+				BufferBytes:   ParallelBufferKB << 10,
+				UsePathBuffer: s.cfg.UsePathBuffer,
+				DiscardPairs:  true,
+			},
+			Workers: w,
+			// The static schedule makes the per-worker split deterministic,
+			// so skew and estimated speedup are reproducible machine
+			// properties of the plan rather than of goroutine scheduling.
+			StaticPartition: true,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: parallel join with %d workers: %v", w, err))
+		}
+		row := ParallelRow{Workers: w, Pairs: res.Count, DiskAccesses: res.Metrics.DiskAccesses()}
+		tasks := make([]int64, len(res.WorkerTasks))
+		for i, n := range res.WorkerTasks {
+			row.Tasks += n
+			tasks[i] = int64(n)
+		}
+		comps := make([]int64, len(res.WorkerMetrics))
+		pairs := make([]int64, len(res.WorkerMetrics))
+		for i, m := range res.WorkerMetrics {
+			comps[i] = m.Comparisons
+			pairs[i] = m.PairsReported
+		}
+		row.TaskSkew = skew(tasks)
+		row.CompSkew = skew(comps)
+		row.PairSkew = skew(pairs)
+		if par := ParallelEstimate(s.model, res, ParallelPageSize); par.TotalSeconds() > 0 {
+			row.EstSpeedup = seqEst.TotalSeconds() / par.TotalSeconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ParallelEstimate converts one ParallelJoin result into an estimated
+// parallel execution time under the paper's cost model: the planning cost
+// (counters not attributed to any worker) plus the estimate of the slowest
+// worker, which is the critical path of the partitioned execution.
+func ParallelEstimate(model costmodel.Model, res *join.Result, pageSize int) costmodel.Estimate {
+	planning := res.Metrics
+	var worst costmodel.Estimate
+	for _, m := range res.WorkerMetrics {
+		planning = planning.Sub(m)
+		if est := model.EstimateSnapshot(m, pageSize); est.TotalSeconds() > worst.TotalSeconds() {
+			worst = est
+		}
+	}
+	planEst := model.EstimateSnapshot(planning, pageSize)
+	return costmodel.Estimate{
+		IOSeconds:  planEst.IOSeconds + worst.IOSeconds,
+		CPUSeconds: planEst.CPUSeconds + worst.CPUSeconds,
+	}
+}
+
+// PrintTableParallel writes the parallel load-balance rows.
+func PrintTableParallel(w io.Writer, rows []ParallelRow) {
+	writeHeader(w, "Parallel join (SJ4, 4 KByte pages, 128 KB buffer): per-worker load balance")
+	fmt.Fprintf(w, "%-9s %8s %10s %14s %12s %12s %12s %12s\n",
+		"workers", "tasks", "pairs", "disk accesses", "task skew", "comp skew", "pair skew", "est speedup")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-9d %8d %10d %14d %12.2f %12.2f %12.2f %12.2f\n",
+			row.Workers, row.Tasks, row.Pairs, row.DiskAccesses,
+			row.TaskSkew, row.CompSkew, row.PairSkew, row.EstSpeedup)
+	}
+	fmt.Fprintln(w, "(skew = max/mean over the workers, 1.00 is perfectly balanced; est speedup is"+
+		"\n estimated sequential time over the parallel critical path, section-5 cost model)")
+}

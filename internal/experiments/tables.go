@@ -296,7 +296,7 @@ func PrintTable4(w io.Writer, rows []Table4Row) {
 // Table5Row compares the read schedules for one buffer size at a fixed page
 // size (4 KByte in the paper).
 type Table5Row struct {
-	BufferKB int
+	BufferKB      int
 	SJ3, SJ4, SJ5 int64
 }
 
@@ -335,10 +335,10 @@ func PrintTable5(w io.Writer, rows []Table5Row) {
 // Table6Cell holds SJ4's accesses and the percentage relative to SJ1 for one
 // page size and buffer size.
 type Table6Cell struct {
-	PageSize  int
-	BufferKB  int
-	SJ4       int64
-	SJ1       int64
+	PageSize     int
+	BufferKB     int
+	SJ4          int64
+	SJ1          int64
 	PercentOfSJ1 float64
 }
 
@@ -402,8 +402,8 @@ func PrintTable6(w io.Writer, s *Suite, res Table6Result) {
 type Table7Row struct {
 	// PageSize is the page size actually used (see Table7 for how it is
 	// chosen).
-	PageSize int
-	BufferKB int
+	PageSize                  int
+	BufferKB                  int
 	PolicyA, PolicyB, PolicyC int64
 }
 

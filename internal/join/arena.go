@@ -25,12 +25,16 @@ type frame struct {
 // heightsScratch is the scratch space of joinLeafWithDirectory.  The routine
 // never nests (it descends via window queries, not via itself), so one
 // instance per executor suffices regardless of the depth it is entered at.
+// batch carries the per-depth active sets of the batched subtree searches of
+// policy (b), so a run issuing one batch search per directory entry stops
+// allocating active sets per node visited.
 type heightsScratch struct {
 	leafIdx, dirIdx     []int32
 	leafRects, dirRects []geom.Rect
 	pairs               []sweep.Pair
 	queries             []geom.Rect
 	ids                 []int32
+	batch               rtree.BatchScratch
 }
 
 // arena bundles all scratch buffers of one join run.  Arenas are recycled

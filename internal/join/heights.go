@@ -62,7 +62,12 @@ func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.T
 	case PolicyBatchedWindows:
 		// Policy (b): for each directory entry, run all window queries that
 		// intersect it in one traversal of its subtree, so that every page of
-		// the subtree is read at most once.
+		// the subtree is read at most once.  The callback is hoisted out of
+		// the loop (it reads the current h.ids at call time), so the loop body
+		// allocates nothing.
+		emit := func(q int, found rtree.Entry) {
+			e.emitLeafDir(h.ids[q], found.Data, swapped)
+		}
 		for _, id := range h.dirIdx {
 			de := dir.Entries[id]
 			h.queries = h.queries[:0]
@@ -83,11 +88,8 @@ func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.T
 				continue
 			}
 			e.local.FlushTo(e.metrics)
-			ids := h.ids
 			dirTree.AccessNode(e.tracker, de.Child)
-			dirTree.BatchSearchSubtree(de.Child, h.queries, e.tracker, func(q int, found rtree.Entry) {
-				e.emitLeafDir(ids[q], found.Data, swapped)
-			})
+			dirTree.BatchSearchSubtreeScratch(de.Child, h.queries, e.tracker, &h.batch, emit)
 		}
 
 	case PolicySweepOrder:

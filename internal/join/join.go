@@ -151,6 +151,15 @@ type Result struct {
 	Metrics metrics.Snapshot
 	// Method records the algorithm that produced the result.
 	Method Method
+	// WorkerMetrics holds one counter snapshot per worker for a ParallelJoin
+	// (nil for sequential joins and for parallel runs that fell back to the
+	// sequential algorithm).  The experiments use it to report load-balance
+	// skew across workers.
+	WorkerMetrics []metrics.Snapshot
+	// WorkerTasks[i] is the number of sub-join tasks worker i executed
+	// (pulled from the shared queue, or assigned by the static schedule); it
+	// is aligned with WorkerMetrics.
+	WorkerTasks []int
 }
 
 // Errors returned by Join.

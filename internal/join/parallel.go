@@ -24,12 +24,59 @@ type ParallelOptions struct {
 	// Workers is clamped to the number of tasks, so small joins never spin up
 	// idle goroutines with starved buffer partitions.
 	Workers int
+	// StaticPartition assigns tasks to workers round-robin over the
+	// area-sorted task list instead of letting workers pull from the shared
+	// queue.  The dynamic queue balances better on real multi-core machines,
+	// but its distribution depends on scheduling (on a single core one worker
+	// may drain the whole queue before the others start); the static schedule
+	// is deterministic, which makes the per-worker snapshots reproducible and
+	// the cost-model speedup of a simulated N-worker execution meaningful on
+	// any machine.
+	StaticPartition bool
 }
 
 // parallelTask is one independent sub-join: the pair of subtrees referenced
 // by two intersecting directory entries.
 type parallelTask struct {
 	er, es rtree.Entry
+}
+
+// parallelWorker is the resident state of one ParallelJoin worker: its
+// private collector, its partition of the buffer pool (LRU plus tracker) and
+// its pair buffer.  Workers are recycled through a sync.Pool so repeated
+// joins (benchmarks, experiment sweeps, servers running one join per
+// request) reuse the LRU frame pool, the collector and the grown pair buffer
+// instead of rebuilding them per join.
+type parallelWorker struct {
+	col     *metrics.Collector
+	lru     *buffer.LRU
+	tracker *buffer.Tracker
+	pairs   []Pair
+	tasks   int
+}
+
+var parallelWorkerPool sync.Pool
+
+// getParallelWorker returns a worker configured for this run's buffer
+// partition, reusing pooled state when available.
+func getParallelWorker(bufferBytes, pageSize int, usePathBuffer bool) *parallelWorker {
+	v := parallelWorkerPool.Get()
+	if v == nil {
+		col := metrics.NewCollector()
+		lru := buffer.NewLRUForBytes(bufferBytes, pageSize)
+		return &parallelWorker{
+			col:     col,
+			lru:     lru,
+			tracker: buffer.NewTracker(lru, col, pageSize, usePathBuffer),
+		}
+	}
+	w := v.(*parallelWorker)
+	w.col.Reset()
+	w.lru.ReconfigureForBytes(bufferBytes, pageSize)
+	w.tracker.Reconfigure(w.col, pageSize, usePathBuffer)
+	w.pairs = w.pairs[:0]
+	w.tasks = 0
+	return w
 }
 
 // ParallelJoin computes the MBR-spatial-join of two trees by partitioning the
@@ -41,10 +88,14 @@ type parallelTask struct {
 // The execution is contention-free in steady state: every worker owns its
 // collector, its LRU buffer and its result buffer, and pulls tasks off a
 // shared, pre-materialised task list with a single atomic fetch-add per
-// task.  The per-worker results and counters are merged into the shared
-// result exactly once at the end.  When the root fan-out is smaller than the
-// worker count, the planner splits the qualifying pairs one level deeper
-// (repeatedly, while it helps) so every worker has work to do.
+// task.  Worker state is resident: collectors, LRU frame pools, trackers and
+// pair buffers are recycled through a pool across joins, so repeated joins
+// reach a steady state without per-run buffer construction.  The per-worker
+// results and counters are merged into the shared result exactly once at the
+// end, and the per-worker snapshots are published as Result.WorkerMetrics /
+// Result.WorkerTasks for load-balance diagnostics.  When the root fan-out is
+// smaller than the worker count, the planner splits the qualifying pairs one
+// level deeper (repeatedly, while it helps) so every worker has work to do.
 //
 // The result set is identical to the sequential join; the order of the
 // materialised pairs depends on the scheduling.  OnPair, if set, is invoked
@@ -143,9 +194,8 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	// OnPair callback reintroduces a shared lock, since the caller asked to
 	// observe the stream as it is produced.
 	var next atomic.Int64
-	workerPairs := make([][]Pair, workers)
+	ws := make([]*parallelWorker, workers)
 	workerCounts := make([]int, workers)
-	workerCols := make([]*metrics.Collector, workers)
 	onPair := opts.OnPair
 	if onPair != nil {
 		var mu sync.Mutex
@@ -158,33 +208,28 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		wcol := metrics.NewCollector()
-		workerCols[w] = wcol
+		ws[w] = getParallelWorker(perWorkerBuffer, r.PageSize(), opts.UsePathBuffer)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			lru := buffer.NewLRUForBytes(perWorkerBuffer, r.PageSize())
-			tracker := buffer.NewTracker(lru, wcol, r.PageSize(), opts.UsePathBuffer)
+			worker := ws[w]
 			ar := arenaPool.Get().(*arena)
 			e := &executor{
 				r:       r,
 				s:       s,
-				tracker: tracker,
-				metrics: wcol,
+				tracker: worker.tracker,
+				metrics: worker.col,
 				opts:    opts,
 				arena:   ar,
 				onPair:  onPair,
 				discard: opts.DiscardPairs,
+				pairs:   worker.pairs,
 			}
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(len(tasks)) {
-					break
-				}
-				t := tasks[i]
+			runTask := func(t parallelTask) {
+				worker.tasks++
 				rect, ok := t.er.Rect.Intersection(t.es.Rect)
 				if !ok {
-					continue
+					return
 				}
 				e.r.AccessNode(e.tracker, t.er.Child)
 				e.s.AccessNode(e.tracker, t.es.Child)
@@ -197,20 +242,41 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 					e.sweepJoin(t.er.Child, t.es.Child, rect, opts.Method, 0)
 				}
 			}
-			e.local.FlushTo(wcol)
+			if popts.StaticPartition {
+				for i := w; i < len(tasks); i += workers {
+					runTask(tasks[i])
+				}
+			} else {
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(len(tasks)) {
+						break
+					}
+					runTask(tasks[i])
+				}
+			}
+			e.local.FlushTo(worker.col)
 			arenaPool.Put(ar)
-			workerPairs[w] = e.pairs
+			worker.pairs = e.pairs
 			workerCounts[w] = e.count
 		}(w)
 	}
 	wg.Wait()
 
+	res.WorkerMetrics = make([]metrics.Snapshot, workers)
+	res.WorkerTasks = make([]int, workers)
 	for w := 0; w < workers; w++ {
-		collector.AddSnapshot(workerCols[w].Snapshot())
+		worker := ws[w]
+		res.WorkerMetrics[w] = worker.col.Snapshot()
+		res.WorkerTasks[w] = worker.tasks
+		collector.AddSnapshot(res.WorkerMetrics[w])
 		res.Count += workerCounts[w]
 		if !opts.DiscardPairs {
-			res.Pairs = append(res.Pairs, workerPairs[w]...)
+			res.Pairs = append(res.Pairs, worker.pairs...)
 		}
+		// The pair buffer has been copied out (or is empty); the worker and
+		// its grown state go back to the pool for the next join.
+		parallelWorkerPool.Put(worker)
 	}
 	res.Metrics = collector.Snapshot().Sub(before)
 	return res, nil

@@ -12,6 +12,73 @@ import (
 // headroom while still producing far fewer pages than dynamic insertion.
 const BulkLoadFill = 0.90
 
+// bulkScratch bundles the buffers one bulk load reuses across all levels:
+// one entry buffer (the leaves' data entries, overwritten in place by each
+// level's directory entries — node i consumes entries at positions >= i, so
+// the prefix is free to reuse), one node buffer, and the preallocated
+// sorters.  A bulk load therefore performs a constant number of scratch
+// allocations regardless of depth or slice count; the remaining allocations
+// are the nodes themselves and their entry slices, which the tree keeps.
+type bulkScratch struct {
+	entries []Entry
+	nodes   []*Node
+	byX     centerXSorter
+	byY     centerYSorter
+}
+
+// fillEntries loads the items into the scratch entry buffer.
+func (b *bulkScratch) fillEntries(items []Item) []Entry {
+	b.entries = make([]Entry, len(items))
+	for i, it := range items {
+		b.entries[i] = Entry{Rect: it.Rect, Data: it.Data}
+	}
+	return b.entries
+}
+
+// nextLevel overwrites the buffer prefix with directory entries over the
+// nodes just packed and returns the shortened buffer.
+func (b *bulkScratch) nextLevel() []Entry {
+	for i, n := range b.nodes {
+		b.entries[i] = Entry{Rect: n.MBR(), Child: n}
+	}
+	b.entries = b.entries[:len(b.nodes)]
+	return b.entries
+}
+
+// centerXSorter orders entries by the x-coordinate of their centres.
+type centerXSorter struct{ e []Entry }
+
+func (s *centerXSorter) Len() int      { return len(s.e) }
+func (s *centerXSorter) Swap(i, j int) { s.e[i], s.e[j] = s.e[j], s.e[i] }
+func (s *centerXSorter) Less(i, j int) bool {
+	return s.e[i].Rect.Center().X < s.e[j].Rect.Center().X
+}
+
+// centerYSorter orders entries by the y-coordinate of their centres.
+type centerYSorter struct{ e []Entry }
+
+func (s *centerYSorter) Len() int      { return len(s.e) }
+func (s *centerYSorter) Swap(i, j int) { s.e[i], s.e[j] = s.e[j], s.e[i] }
+func (s *centerYSorter) Less(i, j int) bool {
+	return s.e[i].Rect.Center().Y < s.e[j].Rect.Center().Y
+}
+
+// hilbertSorter orders entries by precomputed Hilbert keys of their centres.
+// The original implementation recomputed the key inside the comparison
+// closure; precomputing cannot change any comparison outcome, so the
+// permutation (and the tree shape) is unchanged.
+type hilbertSorter struct {
+	e    []Entry
+	keys []uint64
+}
+
+func (s *hilbertSorter) Len() int { return len(s.e) }
+func (s *hilbertSorter) Swap(i, j int) {
+	s.e[i], s.e[j] = s.e[j], s.e[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+func (s *hilbertSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+
 // BulkLoadSTR builds a tree from the given items with the Sort-Tile-Recursive
 // packing algorithm: items are sorted by the x-coordinate of their centres,
 // cut into vertical slices, each slice is sorted by y and cut into nodes.
@@ -30,27 +97,20 @@ func BulkLoadSTR(opts Options, items []Item) (*Tree, error) {
 	if len(items) == 0 {
 		return t, nil
 	}
-	entries := make([]Entry, len(items))
-	for i, it := range items {
-		entries[i] = Entry{Rect: it.Rect, Data: it.Data}
-	}
+	var b bulkScratch
+	entries := b.fillEntries(items)
 	perNode := targetFill(t.maxEnt)
 
 	level := 0
 	for {
-		nodes := packSTR(t, entries, level, perNode)
-		if len(nodes) == 1 {
-			t.root = nodes[0]
+		b.nodes = t.packSTR(b.nodes[:0], &b, entries, level, perNode)
+		if len(b.nodes) == 1 {
+			t.root = b.nodes[0]
 			t.height = level + 1
 			t.size = len(items)
 			return t, nil
 		}
-		// Build directory entries over the nodes just produced and pack the
-		// next level.
-		entries = make([]Entry, len(nodes))
-		for i, n := range nodes {
-			entries[i] = Entry{Rect: n.MBR(), Child: n}
-		}
+		entries = b.nextLevel()
 		level++
 	}
 }
@@ -69,31 +129,27 @@ func BulkLoadHilbert(opts Options, items []Item) (*Tree, error) {
 	for _, it := range items[1:] {
 		world = world.Union(it.Rect)
 	}
-	entries := make([]Entry, len(items))
-	for i, it := range items {
-		entries[i] = Entry{Rect: it.Rect, Data: it.Data}
+	var b bulkScratch
+	entries := b.fillEntries(items)
+	h := hilbertSorter{e: entries, keys: make([]uint64, len(entries))}
+	for i := range entries {
+		h.keys[i] = zorder.HilbertKey(entries[i].Rect.Center(), world)
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		return zorder.HilbertKey(entries[i].Rect.Center(), world) <
-			zorder.HilbertKey(entries[j].Rect.Center(), world)
-	})
+	sort.Sort(&h)
 	perNode := targetFill(t.maxEnt)
 
 	level := 0
 	for {
-		nodes := packRuns(t, entries, level, perNode)
-		if len(nodes) == 1 {
-			t.root = nodes[0]
+		b.nodes = t.packRuns(b.nodes[:0], entries, level, perNode)
+		if len(b.nodes) == 1 {
+			t.root = b.nodes[0]
 			t.height = level + 1
 			t.size = len(items)
 			return t, nil
 		}
-		entries = make([]Entry, len(nodes))
-		for i, n := range nodes {
-			entries[i] = Entry{Rect: n.MBR(), Child: n}
-		}
 		// Directory entries are already in curve order because their children
 		// were packed from a curve-ordered sequence.
+		entries = b.nextLevel()
 		level++
 	}
 }
@@ -111,33 +167,31 @@ func targetFill(capacity int) int {
 }
 
 // packSTR packs entries into nodes of the given level using Sort-Tile-
-// Recursive tiling.
-func packSTR(t *Tree, entries []Entry, level, perNode int) []*Node {
+// Recursive tiling, appending the nodes to dst.  Entries are sorted in
+// place; callers pass the reusable level buffer.
+func (t *Tree) packSTR(dst []*Node, b *bulkScratch, entries []Entry, level, perNode int) []*Node {
 	n := len(entries)
 	nodeCount := (n + perNode - 1) / perNode
 	sliceCount := int(math.Ceil(math.Sqrt(float64(nodeCount))))
 	perSlice := sliceCount * perNode
 
-	sorted := make([]Entry, n)
-	copy(sorted, entries)
-	sort.Slice(sorted, func(i, j int) bool {
-		return sorted[i].Rect.Center().X < sorted[j].Rect.Center().X
-	})
+	b.byX.e = entries
+	sort.Sort(&b.byX)
+	b.byX.e = nil
 
-	var nodes []*Node
 	for start := 0; start < n; start += perSlice {
 		end := start + perSlice
 		if end > n {
 			end = n
 		}
-		slice := sorted[start:end]
-		sort.Slice(slice, func(i, j int) bool {
-			return slice[i].Rect.Center().Y < slice[j].Rect.Center().Y
-		})
-		nodes = append(nodes, packRuns(t, slice, level, perNode)...)
+		slice := entries[start:end]
+		b.byY.e = slice
+		sort.Sort(&b.byY)
+		b.byY.e = nil
+		dst = t.packRuns(dst, slice, level, perNode)
 	}
-	rebalanceTail(t, nodes)
-	return nodes
+	rebalanceTail(t, dst)
+	return dst
 }
 
 // rebalanceTail fixes up a possible underfilled final node produced by the
@@ -156,31 +210,26 @@ func rebalanceTail(t *Tree, nodes []*Node) {
 	}
 }
 
-// packRuns packs consecutive runs of entries into nodes of the given level.
-// If the final run would fall below the minimum fill m, entries are shifted
-// from the previous node so that both satisfy the R-tree fill invariant.
-func packRuns(t *Tree, entries []Entry, level, perNode int) []*Node {
-	var nodes []*Node
+// packRuns packs consecutive runs of entries into nodes of the given level,
+// appending them to dst.  If the final run would fall below the minimum fill
+// m, entries are shifted from the previous node so that both satisfy the
+// R-tree fill invariant (considering only the nodes packed by this call).
+func (t *Tree) packRuns(dst []*Node, entries []Entry, level, perNode int) []*Node {
+	first := len(dst)
 	for start := 0; start < len(entries); start += perNode {
 		end := start + perNode
 		if end > len(entries) {
 			end = len(entries)
 		}
 		node := t.newNode(level)
-		node.Entries = append(node.Entries, entries[start:end]...)
-		nodes = append(nodes, node)
+		node.Entries = make([]Entry, end-start)
+		copy(node.Entries, entries[start:end])
+		dst = append(dst, node)
 	}
-	if len(nodes) >= 2 {
-		last := nodes[len(nodes)-1]
-		prev := nodes[len(nodes)-2]
-		if deficit := t.minEnt - len(last.Entries); deficit > 0 && len(prev.Entries)-deficit >= t.minEnt {
-			cut := len(prev.Entries) - deficit
-			moved := append([]Entry(nil), prev.Entries[cut:]...)
-			prev.Entries = prev.Entries[:cut]
-			last.Entries = append(moved, last.Entries...)
-		}
+	if len(dst)-first >= 2 {
+		rebalanceTail(t, dst)
 	}
-	return nodes
+	return dst
 }
 
 // Build constructs a tree from items either by repeated insertion (the
@@ -197,4 +246,3 @@ func Build(opts Options, items []Item, bulk bool) (*Tree, error) {
 	t.InsertItems(items)
 	return t, nil
 }
-

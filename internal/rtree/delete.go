@@ -7,8 +7,9 @@ import "repro/internal/geom"
 // nodes are dissolved and their entries re-inserted (Guttman's CondenseTree),
 // and the tree height shrinks when the root is left with a single child.
 func (t *Tree) Delete(rect geom.Rect, data int32) bool {
-	var orphans []pendingEntry
-	found := t.deleteRec(t.root, rect, data, &orphans)
+	a := &t.build
+	a.orphans = a.orphans[:0]
+	found := t.deleteRec(t.root, rect, data, &a.orphans)
 	if !found {
 		return false
 	}
@@ -18,15 +19,18 @@ func (t *Tree) Delete(rect geom.Rect, data int32) bool {
 	// "already re-inserted per level" record is shared across the whole
 	// delete so that forced re-insertion cannot ping-pong entries between two
 	// overflowing nodes indefinitely.
-	reinserted := make(map[int]bool)
-	for _, o := range orphans {
-		t.insertEntry(o.entry, o.level, reinserted)
-		for len(t.pending) > 0 {
-			p := t.pending[0]
-			t.pending = t.pending[1:]
-			t.insertEntry(p.entry, p.level, reinserted)
+	a.begin()
+	for i := 0; i < len(a.orphans); i++ {
+		t.insertEntry(a.orphans[i].entry, a.orphans[i].level)
+		for {
+			p, ok := a.popPending()
+			if !ok {
+				break
+			}
+			t.insertEntry(p.entry, p.level)
 		}
 	}
+	a.orphans = a.orphans[:0]
 
 	// Shrink the tree while the root is a directory node with one child.
 	for !t.root.IsLeaf() && len(t.root.Entries) == 1 {

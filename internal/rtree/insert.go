@@ -9,15 +9,17 @@ import (
 // Insert adds a data rectangle with the given object identifier to the tree.
 func (t *Tree) Insert(rect geom.Rect, data int32) {
 	t.size++
-	reinserted := make(map[int]bool)
-	t.insertEntry(Entry{Rect: rect, Data: data}, 0, reinserted)
+	t.build.begin()
+	t.insertEntry(Entry{Rect: rect, Data: data}, 0)
 	// Forced re-insertion may have queued entries; process them until the
 	// queue drains.  Entries queued while draining reuse the same "one
 	// re-insertion per level per insert" bookkeeping, as in the R*-tree paper.
-	for len(t.pending) > 0 {
-		p := t.pending[0]
-		t.pending = t.pending[1:]
-		t.insertEntry(p.entry, p.level, reinserted)
+	for {
+		p, ok := t.build.popPending()
+		if !ok {
+			break
+		}
+		t.insertEntry(p.entry, p.level)
 	}
 }
 
@@ -30,22 +32,23 @@ func (t *Tree) InsertItems(items []Item) {
 
 // insertEntry inserts e at the given level (0 for data entries), growing the
 // tree if the root splits.
-func (t *Tree) insertEntry(e Entry, level int, reinserted map[int]bool) {
+func (t *Tree) insertEntry(e Entry, level int) {
 	if level > t.root.Level {
 		// Can only happen if the tree shrank while re-insertions were queued;
 		// with level == root level the entry joins the root directly.
 		level = t.root.Level
 	}
-	split := t.insertRec(t.root, e, level, reinserted)
-	if split == nil {
+	split, ok := t.insertRec(t.root, e, level)
+	if !ok {
 		return
 	}
 	// The root was split: grow the tree by one level.
 	oldRoot := t.root
 	newRoot := t.newNode(oldRoot.Level + 1)
+	newRoot.Entries = make([]Entry, 0, t.maxEnt+1)
 	newRoot.Entries = append(newRoot.Entries,
 		Entry{Rect: oldRoot.MBR(), Child: oldRoot},
-		*split,
+		split,
 	)
 	t.root = newRoot
 	t.height++
@@ -53,23 +56,23 @@ func (t *Tree) insertEntry(e Entry, level int, reinserted map[int]bool) {
 
 // insertRec descends from n to the target level, inserts the entry and
 // resolves overflows bottom-up.  It returns a directory entry for a newly
-// created sibling if n itself was split.
-func (t *Tree) insertRec(n *Node, e Entry, level int, reinserted map[int]bool) *Entry {
+// created sibling (and true) if n itself was split.
+func (t *Tree) insertRec(n *Node, e Entry, level int) (Entry, bool) {
 	if n.Level == level {
 		n.Entries = append(n.Entries, e)
 	} else {
 		idx := t.chooseSubtree(n, e.Rect)
 		child := n.Entries[idx].Child
-		split := t.insertRec(child, e, level, reinserted)
+		split, ok := t.insertRec(child, e, level)
 		n.Entries[idx].Rect = child.MBR()
-		if split != nil {
-			n.Entries = append(n.Entries, *split)
+		if ok {
+			n.Entries = append(n.Entries, split)
 		}
 	}
 	if len(n.Entries) > t.maxEnt {
-		return t.overflow(n, reinserted)
+		return t.overflow(n)
 	}
-	return nil
+	return Entry{}, false
 }
 
 // chooseSubtree returns the index of the entry of n whose subtree the new
@@ -84,7 +87,7 @@ func (t *Tree) chooseSubtree(n *Node, r geom.Rect) int {
 	// R*-tree, children are leaves: minimise overlap enlargement.  For large
 	// capacities only the chooseSubtreeCandidates entries with the least area
 	// enlargement are examined (the R*-tree paper's optimisation).
-	candidates := candidateIndexes(n.Entries, r)
+	candidates := t.candidateIndexes(n.Entries, r)
 	best := candidates[0]
 	bestOverlap := overlapEnlargement(n.Entries, best, r)
 	bestEnlarge := n.Entries[best].Rect.Enlargement(r)
@@ -120,18 +123,26 @@ func leastEnlargement(entries []Entry, r geom.Rect) int {
 
 // candidateIndexes returns the indexes of the entries to examine for the
 // overlap-minimising ChooseSubtree: all of them for small nodes, otherwise
-// the chooseSubtreeCandidates entries with the least area enlargement.
-func candidateIndexes(entries []Entry, r geom.Rect) []int {
-	idx := make([]int, len(entries))
-	for i := range idx {
-		idx[i] = i
+// the chooseSubtreeCandidates entries with the least area enlargement.  The
+// index and enlargement buffers live in the build arena.
+func (t *Tree) candidateIndexes(entries []Entry, r geom.Rect) []int {
+	a := &t.build
+	idx := a.candIdx[:0]
+	for i := range entries {
+		idx = append(idx, i)
 	}
+	a.candIdx = idx
 	if len(entries) <= chooseSubtreeCandidates {
 		return idx
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		return entries[idx[a]].Rect.Enlargement(r) < entries[idx[b]].Rect.Enlargement(r)
-	})
+	enl := a.candEnl[:0]
+	for i := range entries {
+		enl = append(enl, entries[i].Rect.Enlargement(r))
+	}
+	a.candEnl = enl
+	a.candSorter.idx, a.candSorter.enl = idx, enl
+	sort.Sort(&a.candSorter)
+	a.candSorter.idx, a.candSorter.enl = nil, nil
 	return idx[:chooseSubtreeCandidates]
 }
 
@@ -154,14 +165,14 @@ func overlapEnlargement(entries []Entry, i int, r geom.Rect) float64 {
 // fraction of the entries for re-insertion the first time a level overflows
 // during one insertion, otherwise (and always for the root and the Quadratic
 // variant) the node is split.
-func (t *Tree) overflow(n *Node, reinserted map[int]bool) *Entry {
-	if t.opts.Variant == RStar && n != t.root && !reinserted[n.Level] && t.opts.ReinsertFraction > 0 {
-		reinserted[n.Level] = true
+func (t *Tree) overflow(n *Node) (Entry, bool) {
+	if t.opts.Variant == RStar && n != t.root && !t.build.wasReinserted(n.Level) && t.opts.ReinsertFraction > 0 {
+		t.build.markReinserted(n.Level)
 		if t.forcedReinsert(n) {
-			return nil
+			return Entry{}, false
 		}
 	}
-	return t.splitNode(n)
+	return t.splitNode(n), true
 }
 
 // forcedReinsert removes the ReinsertFraction of the node's entries whose
@@ -182,16 +193,16 @@ func (t *Tree) forcedReinsert(n *Node) bool {
 		// falls back to a split.  This only happens for tiny capacities.
 		return false
 	}
+	a := &t.build
 	center := n.MBR().Center()
-	type distEntry struct {
-		dist float64
-		e    Entry
+	dists := a.dists[:0]
+	for _, e := range n.Entries {
+		dists = append(dists, distEntry{dist: e.Rect.Center().Distance(center), e: e})
 	}
-	dists := make([]distEntry, len(n.Entries))
-	for i, e := range n.Entries {
-		dists[i] = distEntry{dist: e.Rect.Center().Distance(center), e: e}
-	}
-	sort.Slice(dists, func(i, j int) bool { return dists[i].dist > dists[j].dist })
+	a.dists = dists
+	a.distSorter.d = dists
+	sort.Sort(&a.distSorter)
+	a.distSorter.d = nil
 
 	removed := dists[:p]
 	n.Entries = n.Entries[:0]
@@ -201,7 +212,7 @@ func (t *Tree) forcedReinsert(n *Node) bool {
 	// Close reinsert: queue the removed entries ordered by increasing
 	// distance from the centre.
 	for i := len(removed) - 1; i >= 0; i-- {
-		t.pending = append(t.pending, pendingEntry{entry: removed[i].e, level: n.Level})
+		a.pushPending(removed[i].e, n.Level)
 	}
 	return true
 }

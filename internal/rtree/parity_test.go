@@ -1,0 +1,248 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// The golden shapes below were captured from the pre-arena implementation
+// (per-Insert map[int]bool bookkeeping, sort.Slice over entry copies in the
+// split machinery, per-slice allocations in the bulk loaders) on the
+// deterministic datasets built below.  The build arena, the preallocated
+// sorters and the buffer-reusing bulk loaders must reproduce every tree
+// bit-identically: same height, same node count, same per-level hash over
+// fan-outs, entry rectangles and object identifiers in depth-first order.
+//
+// The tree shape is sensitive to the exact permutation the (unstable) sorts
+// produce, so these goldens pin that the preallocated sort.Sort-based sorters
+// replicate the sort.Slice calls they replaced.
+
+// shape is a structural fingerprint of one tree.
+type shape struct {
+	Height int
+	Nodes  int
+	Size   int
+	// Levels[l] is an order-sensitive FNV-1a hash over every node of level l
+	// in depth-first order: fan-out, then each entry's rectangle bits and
+	// object identifier.
+	Levels []uint64
+}
+
+func fnv1a(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
+
+// fingerprint walks the tree and folds its complete structure into per-level
+// hashes.  Two trees with equal fingerprints have identical node layouts,
+// entry orders and MBRs at every level.
+func fingerprint(t *Tree) shape {
+	s := shape{Height: t.Height(), Size: t.Len(), Levels: make([]uint64, t.Height())}
+	for i := range s.Levels {
+		s.Levels[i] = 14695981039346656037
+	}
+	t.Walk(func(n *Node) {
+		s.Nodes++
+		h := s.Levels[n.Level]
+		h = fnv1a(h, uint64(len(n.Entries)))
+		for _, e := range n.Entries {
+			h = fnv1a(h, math.Float64bits(e.Rect.XL))
+			h = fnv1a(h, math.Float64bits(e.Rect.YL))
+			h = fnv1a(h, math.Float64bits(e.Rect.XU))
+			h = fnv1a(h, math.Float64bits(e.Rect.YU))
+			h = fnv1a(h, uint64(uint32(e.Data)))
+		}
+		s.Levels[n.Level] = h
+	})
+	return s
+}
+
+func (s shape) String() string {
+	return fmt.Sprintf("{Height: %d, Nodes: %d, Size: %d, Levels: %#v}", s.Height, s.Nodes, s.Size, s.Levels)
+}
+
+func (s shape) equal(o shape) bool {
+	if s.Height != o.Height || s.Nodes != o.Nodes || s.Size != o.Size || len(s.Levels) != len(o.Levels) {
+		return false
+	}
+	for i := range s.Levels {
+		if s.Levels[i] != o.Levels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// goldenItems builds the deterministic dataset all golden scenarios share.
+func goldenItems(n int, seed int64) []Item {
+	return randomItems(rand.New(rand.NewSource(seed)), n, 0.01)
+}
+
+// The scenarios cover both variants and every construction path: plain
+// insertion (with forced re-insertion for the R*-tree), a reinsert-heavy
+// configuration, delete-then-insert (CondenseTree orphans re-inserted through
+// the same overflow machinery), and the two bulk loaders.  The small page
+// (8 entries) forces deep trees and frequent splits; the 1 KByte page
+// exercises the candidate-limited ChooseSubtree (M > 32).  A linear-split
+// variant does not exist in this codebase, so the golden set pins the R* and
+// quadratic splits only.
+type goldenShape struct {
+	label string
+	build func(testing.TB) *Tree
+	want  shape
+}
+
+func smallPage() int { return 8 * storage.EntrySize }
+
+func goldenShapes() []goldenShape {
+	return []goldenShape{
+		{
+			label: "rstar-insert-smallpage",
+			build: func(tb testing.TB) *Tree {
+				t := MustNew(Options{PageSize: smallPage()})
+				t.InsertItems(goldenItems(3000, 11))
+				return t
+			},
+			want: shape{Height: 5, Nodes: 632, Size: 3000, Levels: []uint64{0xee4588ec26fe4d62, 0x7debc68067ccb9d0, 0x11e4bab4c096bd76, 0x32ecdf89e954e9ed, 0xe51f3cfa3f46aba2}},
+		},
+		{
+			label: "rstar-insert-1k",
+			build: func(tb testing.TB) *Tree {
+				t := MustNew(Options{PageSize: storage.PageSize1K})
+				t.InsertItems(goldenItems(4000, 12))
+				return t
+			},
+			want: shape{Height: 3, Nodes: 118, Size: 4000, Levels: []uint64{0x4663fbcf7f9df574, 0x1e77cd0a97f495e3, 0xbc3a03bcf87f3f38}},
+		},
+		{
+			label: "rstar-reinsert-heavy",
+			build: func(tb testing.TB) *Tree {
+				t := MustNew(Options{PageSize: smallPage(), ReinsertFraction: 0.45})
+				t.InsertItems(goldenItems(2000, 13))
+				return t
+			},
+			want: shape{Height: 5, Nodes: 419, Size: 2000, Levels: []uint64{0x4502ec6ea1434ede, 0xd56901fe059280e3, 0xbca85efc12d5cfd2, 0x8dedb91ffc1ee1a9, 0x3521ed5fcb0374cf}},
+		},
+		{
+			label: "quadratic-insert-smallpage",
+			build: func(tb testing.TB) *Tree {
+				t := MustNew(Options{PageSize: smallPage(), Variant: Quadratic})
+				t.InsertItems(goldenItems(2000, 14))
+				return t
+			},
+			want: shape{Height: 5, Nodes: 429, Size: 2000, Levels: []uint64{0x1b035ff286c40080, 0xb66244967edd9179, 0xc7ffa06792af5666, 0x739f2438948eed23, 0x5e8623e64933af5f}},
+		},
+		{
+			label: "quadratic-insert-1k",
+			build: func(tb testing.TB) *Tree {
+				t := MustNew(Options{PageSize: storage.PageSize1K, Variant: Quadratic})
+				t.InsertItems(goldenItems(3000, 15))
+				return t
+			},
+			want: shape{Height: 3, Nodes: 90, Size: 3000, Levels: []uint64{0x2c60fb741d74d39a, 0x2e6b74ec55bb5f70, 0xb8582c5797b6886d}},
+		},
+		{
+			label: "rstar-delete-then-insert",
+			build: func(tb testing.TB) *Tree {
+				items := goldenItems(3000, 16)
+				t := MustNew(Options{PageSize: storage.PageSize1K})
+				t.InsertItems(items)
+				for i := 0; i < 2000; i += 2 {
+					if !t.Delete(items[i].Rect, items[i].Data) {
+						tb.Fatalf("delete %d failed", i)
+					}
+				}
+				t.InsertItems(goldenItems(800, 17))
+				return t
+			},
+			want: shape{Height: 3, Nodes: 76, Size: 2800, Levels: []uint64{0x857ef8b152a0a379, 0x290f7cfc0630a200, 0xc9f533438b7b94b0}},
+		},
+		{
+			label: "quadratic-delete-then-insert",
+			build: func(tb testing.TB) *Tree {
+				items := goldenItems(1500, 18)
+				t := MustNew(Options{PageSize: smallPage(), Variant: Quadratic})
+				t.InsertItems(items)
+				for i := 0; i < 1000; i += 3 {
+					if !t.Delete(items[i].Rect, items[i].Data) {
+						tb.Fatalf("delete %d failed", i)
+					}
+				}
+				t.InsertItems(goldenItems(500, 19))
+				return t
+			},
+			want: shape{Height: 5, Nodes: 362, Size: 1666, Levels: []uint64{0xc0d17610e9544cf9, 0x173f392fe8cd7e5b, 0x8683cfa762aec66a, 0xf307bc43eac205f6, 0x35fd858437801a8f}},
+		},
+		{
+			label: "str-bulkload-1k",
+			build: func(tb testing.TB) *Tree {
+				t, err := BulkLoadSTR(Options{PageSize: storage.PageSize1K}, goldenItems(12000, 20))
+				if err != nil {
+					tb.Fatal(err)
+				}
+				return t
+			},
+			want: shape{Height: 3, Nodes: 274, Size: 12000, Levels: []uint64{0xf68e05b824a7a26a, 0xd8feac318c4dedc1, 0x9848747c72045182}},
+		},
+		{
+			label: "str-bulkload-smallpage",
+			build: func(tb testing.TB) *Tree {
+				t, err := BulkLoadSTR(Options{PageSize: smallPage()}, goldenItems(3000, 21))
+				if err != nil {
+					tb.Fatal(err)
+				}
+				return t
+			},
+			want: shape{Height: 5, Nodes: 503, Size: 3000, Levels: []uint64{0xb556dbd8307af786, 0x1ba5e46f8f21a0eb, 0x24dbe6072610d9b0, 0x5cdf77232476f0ca, 0x17528adf75306981}},
+		},
+		{
+			label: "hilbert-bulkload-1k",
+			build: func(tb testing.TB) *Tree {
+				t, err := BulkLoadHilbert(Options{PageSize: storage.PageSize1K}, goldenItems(12000, 22))
+				if err != nil {
+					tb.Fatal(err)
+				}
+				return t
+			},
+			want: shape{Height: 3, Nodes: 274, Size: 12000, Levels: []uint64{0x987406e4fd45552b, 0x580de98aab03fa41, 0x9f6cc993b899a103}},
+		},
+	}
+}
+
+// TestStructuralGolden asserts that every construction path produces trees
+// bit-identical to the pre-arena implementation.
+func TestStructuralGolden(t *testing.T) {
+	for _, g := range goldenShapes() {
+		g := g
+		t.Run(g.label, func(t *testing.T) {
+			tr := g.build(t)
+			got := fingerprint(tr)
+			if !got.equal(g.want) {
+				t.Errorf("tree shape drifted from the pre-arena baseline:\n got  %v\n want %v", got, g.want)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Errorf("invalid tree: %v", err)
+			}
+		})
+	}
+}
+
+// TestConstructionIsDeterministic asserts that building the same tree twice
+// yields identical shapes: arena reuse must not leak state between builds.
+func TestConstructionIsDeterministic(t *testing.T) {
+	for _, g := range goldenShapes() {
+		g := g
+		t.Run(g.label, func(t *testing.T) {
+			a := fingerprint(g.build(t))
+			b := fingerprint(g.build(t))
+			if !a.equal(b) {
+				t.Errorf("two identical builds disagree:\n first  %v\n second %v", a, b)
+			}
+		})
+	}
+}

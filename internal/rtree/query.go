@@ -1,6 +1,8 @@
 package rtree
 
 import (
+	"sync"
+
 	"repro/internal/buffer"
 	"repro/internal/geom"
 )
@@ -60,6 +62,26 @@ func (t *Tree) SearchSubtree(n *Node, query geom.Rect, tr *buffer.Tracker, fn fu
 	t.searchNode(n, query, tr, fn)
 }
 
+// BatchScratch holds the per-depth active query sets of a batched subtree
+// search.  The buffers grow to the working-set size on first use; a reused
+// scratch makes BatchSearchSubtreeScratch allocation-free in steady state.
+// A BatchScratch must not be shared between concurrent searches.
+type BatchScratch struct {
+	active [][]int32
+}
+
+// level returns the active-set buffer for one recursion depth, truncated for
+// reuse.
+func (s *BatchScratch) level(depth int) []int32 {
+	for len(s.active) <= depth {
+		s.active = append(s.active, nil)
+	}
+	return s.active[depth][:0]
+}
+
+// batchScratchPool backs the scratch-less BatchSearchSubtree entry point.
+var batchScratchPool = sync.Pool{New: func() any { return new(BatchScratch) }}
+
 // BatchSearchSubtree evaluates several window queries against the subtree
 // rooted at n in a single traversal: a child is descended into at most once
 // even if multiple query rectangles intersect it.  This implements policy (b)
@@ -67,45 +89,55 @@ func (t *Tree) SearchSubtree(n *Node, query geom.Rect, tr *buffer.Tracker, fn fu
 // once.  fn receives the index of the matching query rectangle and the data
 // entry.
 func (t *Tree) BatchSearchSubtree(n *Node, queries []geom.Rect, tr *buffer.Tracker, fn func(q int, e Entry)) {
+	s := batchScratchPool.Get().(*BatchScratch)
+	t.BatchSearchSubtreeScratch(n, queries, tr, s, fn)
+	batchScratchPool.Put(s)
+}
+
+// BatchSearchSubtreeScratch is BatchSearchSubtree with caller-provided
+// scratch, so tight loops (the height-difference join runs one batch search
+// per directory entry) reuse the active sets instead of allocating them per
+// node visited.
+func (t *Tree) BatchSearchSubtreeScratch(n *Node, queries []geom.Rect, tr *buffer.Tracker, s *BatchScratch, fn func(q int, e Entry)) {
 	if len(queries) == 0 {
 		return
 	}
-	t.batchSearch(n, queries, indexRange(len(queries)), tr, fn)
-}
-
-func indexRange(n int) []int {
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	root := s.level(0)
+	for i := range queries {
+		root = append(root, int32(i))
 	}
-	return idx
+	s.active[0] = root
+	t.batchSearch(n, queries, root, 1, s, tr, fn)
 }
 
 // batchSearch visits the subtree once, narrowing the set of active query
-// rectangles as it descends.
-func (t *Tree) batchSearch(n *Node, queries []geom.Rect, active []int, tr *buffer.Tracker, fn func(q int, e Entry)) {
+// rectangles as it descends.  Active sets live in the scratch, one buffer per
+// depth: a depth's buffer is rebuilt for each sibling only after the descent
+// through the previous sibling has finished with it.
+func (t *Tree) batchSearch(n *Node, queries []geom.Rect, active []int32, depth int, s *BatchScratch, tr *buffer.Tracker, fn func(q int, e Entry)) {
 	counter := trackerCounter(tr)
 	for i := range n.Entries {
 		e := n.Entries[i]
 		if n.IsLeaf() {
 			for _, q := range active {
 				if geom.IntersectsCounted(e.Rect, queries[q], counter) {
-					fn(q, e)
+					fn(int(q), e)
 				}
 			}
 			continue
 		}
-		var childActive []int
+		childActive := s.level(depth)
 		for _, q := range active {
 			if geom.IntersectsCounted(e.Rect, queries[q], counter) {
 				childActive = append(childActive, q)
 			}
 		}
+		s.active[depth] = childActive
 		if len(childActive) == 0 {
 			continue
 		}
 		t.AccessNode(tr, e.Child)
-		t.batchSearch(e.Child, queries, childActive, tr, fn)
+		t.batchSearch(e.Child, queries, childActive, depth+1, s, tr, fn)
 	}
 }
 

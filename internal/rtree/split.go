@@ -1,84 +1,72 @@
 package rtree
 
-import (
-	"math"
-	"sort"
-
-	"repro/internal/geom"
-)
+import "math"
 
 // splitNode splits an overflowing node into two, keeps the first group in n
 // and returns a directory entry referencing a newly allocated sibling holding
-// the second group.
-func (t *Tree) splitNode(n *Node) *Entry {
-	var groupA, groupB []Entry
+// the second group.  All split scratch (axis sortings, prefix/suffix MBRs,
+// group assembly) lives in the build arena; the only allocations are the
+// sibling node and its entry slice, which the tree keeps.
+func (t *Tree) splitNode(n *Node) Entry {
+	var second []Entry
 	if t.opts.Variant == Quadratic {
-		groupA, groupB = t.quadraticSplit(n.Entries)
+		second = t.quadraticSplit(n)
 	} else {
-		groupA, groupB = t.rstarSplit(n.Entries)
+		second = t.rstarSplit(n)
 	}
 	sibling := t.newNode(n.Level)
-	n.Entries = groupA
-	sibling.Entries = groupB
-	return &Entry{Rect: sibling.MBR(), Child: sibling}
+	sibling.Entries = second
+	return Entry{Rect: sibling.MBR(), Child: sibling}
+}
+
+// keepFirstGroup replaces n's entries with the given group (entries from
+// arena scratch, so the copy cannot alias n's backing array) and returns a
+// tree-owned copy of the second group with room to overflow once more.
+func (t *Tree) keepFirstGroup(n *Node, groupA, groupB []Entry) []Entry {
+	n.Entries = append(n.Entries[:0], groupA...)
+	second := make([]Entry, len(groupB), t.maxEnt+1)
+	copy(second, groupB)
+	return second
 }
 
 // rstarSplit implements the R*-tree split of section 3.2 of the paper: choose
 // the split axis by the minimum sum of margins over all candidate
 // distributions, then choose the distribution on that axis with the minimum
 // overlap between the two group MBRs (ties broken by minimum combined area).
-func (t *Tree) rstarSplit(entries []Entry) (groupA, groupB []Entry) {
+//
+// The four sortings (by lower and upper corner per axis) are computed once
+// into arena buffers and shared between axis choice and index choice; the
+// original implementation re-sorted fresh copies for the index choice, which
+// yields the identical permutation, so the resulting shapes are unchanged.
+func (t *Tree) rstarSplit(n *Node) []Entry {
+	a := &t.build
 	m := t.minEnt
-	axis := chooseSplitAxis(entries, m)
-	sorted := sortedByAxis(entries, axis)
-	best := chooseSplitIndex(sorted, m)
-	return splitAt(sorted[best.sorting], best)
-}
 
-// axisSortings holds the entries of a node sorted by the lower and by the
-// upper corner of their rectangles along one axis.
-type axisSortings [2][]Entry
-
-// sortedByAxis returns the two sortings (by lower and by upper corner) of the
-// entries along the given axis (0 = x, 1 = y).
-func sortedByAxis(entries []Entry, axis int) axisSortings {
-	lower := make([]Entry, len(entries))
-	upper := make([]Entry, len(entries))
-	copy(lower, entries)
-	copy(upper, entries)
-	if axis == 0 {
-		sort.Slice(lower, func(i, j int) bool { return lower[i].Rect.XL < lower[j].Rect.XL })
-		sort.Slice(upper, func(i, j int) bool { return upper[i].Rect.XU < upper[j].Rect.XU })
-	} else {
-		sort.Slice(lower, func(i, j int) bool { return lower[i].Rect.YL < lower[j].Rect.YL })
-		sort.Slice(upper, func(i, j int) bool { return upper[i].Rect.YU < upper[j].Rect.YU })
+	var sums [2]float64
+	for axis := 0; axis < 2; axis++ {
+		for corner := 0; corner < 2; corner++ {
+			sums[axis] += t.marginSum(a.sortByAxis(n.Entries, axis, corner), m)
+		}
 	}
-	return axisSortings{lower, upper}
+	axis := 1
+	if sums[0] <= sums[1] {
+		axis = 0
+	}
+
+	best := t.chooseSplitIndex(a.sorted[axis], m)
+	sorted := a.sorted[axis][best.sorting]
+	return t.keepFirstGroup(n, sorted[:best.k], sorted[best.k:])
 }
 
 // marginSum returns the sum of the margins of both group MBRs over all legal
 // distributions of one sorting.
-func marginSum(sorted []Entry, m int) float64 {
-	prefix, suffix := prefixSuffixMBRs(sorted)
+func (t *Tree) marginSum(sorted []Entry, m int) float64 {
+	prefix, suffix := t.build.prefixSuffixMBRs(sorted)
 	var sum float64
 	for k := m; k <= len(sorted)-m; k++ {
 		sum += prefix[k-1].Margin() + suffix[k].Margin()
 	}
 	return sum
-}
-
-// chooseSplitAxis returns 0 (x) or 1 (y), whichever axis yields the smaller
-// total margin over all candidate distributions of both sortings.
-func chooseSplitAxis(entries []Entry, m int) int {
-	var sums [2]float64
-	for axis := 0; axis < 2; axis++ {
-		s := sortedByAxis(entries, axis)
-		sums[axis] = marginSum(s[0], m) + marginSum(s[1], m)
-	}
-	if sums[0] <= sums[1] {
-		return 0
-	}
-	return 1
 }
 
 // splitChoice identifies one candidate distribution: the sorting it comes
@@ -92,13 +80,13 @@ type splitChoice struct {
 // chooseSplitIndex picks the distribution with the least overlap between the
 // two group MBRs, ties broken by least combined area, over both sortings of
 // the chosen axis.
-func chooseSplitIndex(s axisSortings, m int) splitChoice {
+func (t *Tree) chooseSplitIndex(s [2][]Entry, m int) splitChoice {
 	best := splitChoice{sorting: 0, k: m}
 	bestOverlap := math.Inf(1)
 	bestArea := math.Inf(1)
 	for sorting := 0; sorting < 2; sorting++ {
 		sorted := s[sorting]
-		prefix, suffix := prefixSuffixMBRs(sorted)
+		prefix, suffix := t.build.prefixSuffixMBRs(sorted)
 		for k := m; k <= len(sorted)-m; k++ {
 			a, b := prefix[k-1], suffix[k]
 			overlap := a.IntersectionArea(b)
@@ -112,44 +100,21 @@ func chooseSplitIndex(s axisSortings, m int) splitChoice {
 	return best
 }
 
-// splitAt splits the given sorted slice at index k.  The second sorting is
-// resolved by the caller via chooseSplitIndex's sorting field; see rstarSplit.
-func splitAt(sorted []Entry, choice splitChoice) (groupA, groupB []Entry) {
-	groupA = append([]Entry(nil), sorted[:choice.k]...)
-	groupB = append([]Entry(nil), sorted[choice.k:]...)
-	return groupA, groupB
-}
-
-// prefixSuffixMBRs returns prefix[i] = MBR(sorted[0..i]) and
-// suffix[i] = MBR(sorted[i..]), allowing all distributions to be evaluated in
-// linear time.
-func prefixSuffixMBRs(sorted []Entry) (prefix, suffix []geom.Rect) {
-	n := len(sorted)
-	prefix = make([]geom.Rect, n)
-	suffix = make([]geom.Rect, n)
-	prefix[0] = sorted[0].Rect
-	for i := 1; i < n; i++ {
-		prefix[i] = prefix[i-1].Union(sorted[i].Rect)
-	}
-	suffix[n-1] = sorted[n-1].Rect
-	for i := n - 2; i >= 0; i-- {
-		suffix[i] = suffix[i+1].Union(sorted[i].Rect)
-	}
-	return prefix, suffix
-}
-
 // quadraticSplit implements Guttman's quadratic split: pick the pair of
 // entries that would waste the most area if placed together as seeds, then
 // repeatedly assign the entry with the greatest preference for one group.
-func (t *Tree) quadraticSplit(entries []Entry) (groupA, groupB []Entry) {
+// Groups are assembled in arena scratch and copied out once.
+func (t *Tree) quadraticSplit(n *Node) []Entry {
+	a := &t.build
+	entries := n.Entries
 	m := t.minEnt
 	seedA, seedB := pickSeeds(entries)
-	groupA = []Entry{entries[seedA]}
-	groupB = []Entry{entries[seedB]}
+	groupA := append(a.groupA[:0], entries[seedA])
+	groupB := append(a.groupB[:0], entries[seedB])
 	mbrA := entries[seedA].Rect
 	mbrB := entries[seedB].Rect
 
-	remaining := make([]Entry, 0, len(entries)-2)
+	remaining := a.remaining[:0]
 	for i, e := range entries {
 		if i != seedA && i != seedB {
 			remaining = append(remaining, e)
@@ -161,11 +126,13 @@ func (t *Tree) quadraticSplit(entries []Entry) (groupA, groupB []Entry) {
 		// fill, assign them wholesale.
 		if len(groupA)+len(remaining) == m {
 			groupA = append(groupA, remaining...)
-			return groupA, groupB
+			remaining = remaining[:0]
+			break
 		}
 		if len(groupB)+len(remaining) == m {
 			groupB = append(groupB, remaining...)
-			return groupA, groupB
+			remaining = remaining[:0]
+			break
 		}
 		// PickNext: the entry with the maximum difference of enlargements.
 		bestIdx, bestDiff := 0, -1.0
@@ -199,7 +166,8 @@ func (t *Tree) quadraticSplit(entries []Entry) (groupA, groupB []Entry) {
 			mbrB = mbrB.Union(e.Rect)
 		}
 	}
-	return groupA, groupB
+	a.groupA, a.groupB, a.remaining = groupA[:0], groupB[:0], remaining[:0]
+	return t.keepFirstGroup(n, groupA, groupB)
 }
 
 // pickSeeds returns the indexes of the two entries that would waste the most
