@@ -394,8 +394,20 @@ func BenchmarkParallelJoin(b *testing.B) {
 // (STR bulk loaded; dynamic insertion of trees this size is what
 // BenchmarkBuildRTreeDynamic measures) where the sequential sweep join runs
 // long enough for the work partitioning to amortise.
+//
+// Building the two 120k-rect trees takes far longer than the benchmark
+// smoke's -benchtime 1x iterations, so the whole family is gated behind
+// testing.Short(): CI's smoke step passes -short and stays in the seconds,
+// while a full `go test -bench LargeJoin .` still runs it.
 
 const largeBenchCount = 120000
+
+// skipLargeInShort gates the 120k-rect benchmarks out of -short smoke runs.
+func skipLargeInShort(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping 120k-rect tree family in -short mode")
+	}
+}
 
 var (
 	largeTreesOnce sync.Once
@@ -423,6 +435,7 @@ func largeTreesForBench() (*rtree.Tree, *rtree.Tree) {
 // BenchmarkLargeJoinSequential is the sequential SweepJoin (SJ4) baseline on
 // the large tree pair.
 func BenchmarkLargeJoinSequential(b *testing.B) {
+	skipLargeInShort(b)
 	r, s := largeTreesForBench()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -445,6 +458,7 @@ func BenchmarkLargeJoinSequential(b *testing.B) {
 // BenchmarkLargeJoinParallel sweeps the worker count on the large tree pair;
 // the 8-worker configuration is the scaling target recorded in BENCH_2.json.
 func BenchmarkLargeJoinParallel(b *testing.B) {
+	skipLargeInShort(b)
 	r, s := largeTreesForBench()
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
@@ -478,6 +492,7 @@ func BenchmarkLargeJoinParallel(b *testing.B) {
 // a machine that actually has the cores, whereas the counted costs show the
 // quality of the partitioning anywhere.
 func BenchmarkLargeJoinParallelStatic(b *testing.B) {
+	skipLargeInShort(b)
 	r, s := largeTreesForBench()
 	opts := JoinOptions{
 		Method:        SpatialJoin4,
@@ -497,9 +512,9 @@ func BenchmarkLargeJoinParallelStatic(b *testing.B) {
 			speedup := 0.0
 			for i := 0; i < b.N; i++ {
 				res, err := ParallelTreeJoin(r, s, ParallelJoinOptions{
-					Options:         opts,
-					Workers:         workers,
-					StaticPartition: true,
+					Options:  opts,
+					Workers:  workers,
+					Strategy: RoundRobinPartition,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -510,6 +525,63 @@ func BenchmarkLargeJoinParallelStatic(b *testing.B) {
 				}
 			}
 			b.ReportMetric(speedup, "est-speedup")
+		})
+	}
+}
+
+// BenchmarkLargeJoinPartition compares the three static partition strategies
+// on the large pair at 8 workers.  Besides wall clock it reports the
+// counted-cost quality of each schedule: the cost-model est-speedup, the
+// per-worker task and disk skew, the buffer-locality hit rate and the
+// disk-access overhead over the sequential join (the price of the
+// partitioned buffer, which the spatial-region schedule is built to shrink).
+func BenchmarkLargeJoinPartition(b *testing.B) {
+	skipLargeInShort(b)
+	r, s := largeTreesForBench()
+	opts := JoinOptions{
+		Method:        SpatialJoin4,
+		BufferBytes:   1 << 20,
+		UsePathBuffer: true,
+		DiscardPairs:  true,
+	}
+	seq, err := TreeJoin(r, s, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := DefaultCostModel()
+	seqEst := model.EstimateSnapshot(seq.Metrics, r.PageSize())
+	seqDisk := float64(seq.Metrics.DiskAccesses())
+	for _, strategy := range []PartitionStrategy{RoundRobinPartition, LPTPartition, SpatialPartition} {
+		b.Run(fmt.Sprintf("strategy=%v/workers=8", strategy), func(b *testing.B) {
+			b.ReportAllocs()
+			var res *JoinResult
+			for i := 0; i < b.N; i++ {
+				res, err = ParallelTreeJoin(r, s, ParallelJoinOptions{
+					Options:  opts,
+					Workers:  8,
+					Strategy: strategy,
+					// STR-loaded roots yield under a dozen giant root-entry
+					// tasks; planning one level finer is what gives the
+					// schedules room to balance and cluster.
+					MinTasksPerWorker: 16,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Count == 0 {
+					b.Fatal("empty result")
+				}
+			}
+			par := experiments.ParallelEstimate(model, res, r.PageSize())
+			if par.TotalSeconds() > 0 {
+				b.ReportMetric(seqEst.TotalSeconds()/par.TotalSeconds(), "est-speedup")
+			}
+			if seqDisk > 0 {
+				b.ReportMetric(float64(res.Metrics.DiskAccesses())/seqDisk, "disk-overhead")
+			}
+			b.ReportMetric(res.TaskSkew(), "task-skew")
+			b.ReportMetric(res.DiskSkew(), "disk-skew")
+			b.ReportMetric(res.WorkerBufferHitRate(), "hit-rate")
 		})
 	}
 }

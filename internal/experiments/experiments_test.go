@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/join"
 	"repro/internal/storage"
 )
 
@@ -308,5 +309,43 @@ func TestSortedKeysHelper(t *testing.T) {
 	keys := sortedKeys(m)
 	if len(keys) != 3 || keys[0] != 1 || keys[2] != 3 {
 		t.Fatalf("sortedKeys = %v", keys)
+	}
+}
+
+func TestTableParallelShape(t *testing.T) {
+	s := tinySuite()
+	rows := s.TableParallel()
+	want := len(join.StaticPartitionStrategies) * len(ParallelWorkerCounts)
+	if len(rows) != want {
+		t.Fatalf("TableParallel returned %d rows, want %d", len(rows), want)
+	}
+	i := 0
+	for _, strategy := range join.StaticPartitionStrategies {
+		for _, workers := range ParallelWorkerCounts {
+			row := rows[i]
+			i++
+			if row.Strategy != strategy || row.Workers != workers {
+				t.Fatalf("row %d is %v/%d, want %v/%d", i-1, row.Strategy, row.Workers, strategy, workers)
+			}
+			if row.Pairs != rows[0].Pairs {
+				t.Errorf("%v/%d: %d pairs, want %d (result set must not depend on the schedule)",
+					strategy, workers, row.Pairs, rows[0].Pairs)
+			}
+			if row.Tasks <= 0 || row.DiskAccesses <= 0 || row.EstSpeedup <= 0 || row.DiskOverhead <= 0 {
+				t.Errorf("%v/%d: empty counters in %+v", strategy, workers, row)
+			}
+			if workers > 1 && (row.TaskSkew < 1 || row.CompSkew < 1 || row.DiskSkew < 1) {
+				t.Errorf("%v/%d: skews below 1 in %+v", strategy, workers, row)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	PrintTableParallel(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"round-robin", "lpt", "spatial", "est speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintTableParallel output is missing %q", want)
+		}
 	}
 }

@@ -24,19 +24,28 @@ const (
 // ParallelWorkerCounts are the worker counts swept by the experiment.
 var ParallelWorkerCounts = []int{1, 2, 4, 8}
 
-// ParallelRow summarises one ParallelJoin run: the total work and how evenly
-// it spread across the workers.  Skews are max/mean ratios over the
-// per-worker snapshots (1.00 = perfectly balanced); the paper's cost
-// measures are CPU comparisons and disk accesses, so those are the measures
-// whose balance decides the parallel speedup.
+// ParallelRow summarises one ParallelJoin run: the total work, how evenly it
+// spread across the workers and how much the partitioned buffer cost in
+// extra I/O.  Skews are max/mean ratios over the per-worker snapshots
+// (1.00 = perfectly balanced); the paper's cost measures are CPU comparisons
+// and disk accesses, so those are the measures whose balance decides the
+// parallel speedup.
 type ParallelRow struct {
+	Strategy     join.PartitionStrategy
 	Workers      int
 	Tasks        int
 	Pairs        int
 	DiskAccesses int64
-	TaskSkew     float64 // max/mean sub-join tasks per worker
-	CompSkew     float64 // max/mean join comparisons per worker
-	PairSkew     float64 // max/mean result pairs per worker
+	// DiskOverhead is the run's total disk accesses divided by the
+	// sequential join's: the price of partitioning one shared buffer into
+	// per-worker slices.  1.00 means the partitioning cost nothing.
+	DiskOverhead float64
+	// HitRate is the share of worker node accesses satisfied from a buffer,
+	// the locality measure of the schedule.
+	HitRate  float64
+	TaskSkew float64 // max/mean sub-join tasks per worker
+	CompSkew float64 // max/mean join comparisons per worker
+	DiskSkew float64 // max/mean disk accesses per worker
 	// EstSpeedup is the speedup in estimated execution time (the paper's
 	// section-5 cost model) of the parallel run over the sequential SJ4 with
 	// the same total buffer: sequential estimate divided by the parallel
@@ -46,103 +55,95 @@ type ParallelRow struct {
 	EstSpeedup float64
 }
 
-// skew returns max/mean of the values, or 0 when the mean is zero.
-func skew(values []int64) float64 {
-	if len(values) == 0 {
-		return 0
-	}
-	var sum, max int64
-	for _, v := range values {
-		sum += v
-		if v > max {
-			max = v
-		}
-	}
-	if sum == 0 {
-		return 0
-	}
-	mean := float64(sum) / float64(len(values))
-	return float64(max) / mean
-}
-
-// TableParallel joins the main pair with ParallelJoin (SJ4) for each worker
-// count and reports the per-worker load-balance skew, using the per-worker
-// snapshots the parallel executor publishes.
+// TableParallel joins the main pair with ParallelJoin (SJ4) for each static
+// partition strategy and worker count, and reports per-worker load-balance
+// skew, buffer locality and the disk-access overhead over the sequential
+// join, using the per-worker snapshots the parallel executor publishes.
 func (s *Suite) TableParallel() []ParallelRow {
 	r, t := s.mainPair(ParallelPageSize)
 	seq := s.runJoin(r, t, join.SJ4, ParallelBufferKB, nil)
 	seqEst := s.model.EstimateSnapshot(seq.Metrics, ParallelPageSize)
 	var rows []ParallelRow
-	for _, w := range ParallelWorkerCounts {
-		res, err := join.ParallelJoin(r, t, join.ParallelOptions{
-			Options: join.Options{
-				Method:        join.SJ4,
-				BufferBytes:   ParallelBufferKB << 10,
-				UsePathBuffer: s.cfg.UsePathBuffer,
-				DiscardPairs:  true,
-			},
-			Workers: w,
-			// The static schedule makes the per-worker split deterministic,
-			// so skew and estimated speedup are reproducible machine
-			// properties of the plan rather than of goroutine scheduling.
-			StaticPartition: true,
-		})
-		if err != nil {
-			panic(fmt.Sprintf("experiments: parallel join with %d workers: %v", w, err))
+	for _, strategy := range join.StaticPartitionStrategies {
+		for _, w := range ParallelWorkerCounts {
+			res, err := join.ParallelJoin(r, t, join.ParallelOptions{
+				Options: join.Options{
+					Method:        join.SJ4,
+					BufferBytes:   ParallelBufferKB << 10,
+					UsePathBuffer: s.cfg.UsePathBuffer,
+					DiscardPairs:  true,
+				},
+				Workers: w,
+				// The static schedules make the per-worker split
+				// deterministic, so skew and estimated speedup are
+				// reproducible properties of the plan rather than of
+				// goroutine scheduling.
+				Strategy: strategy,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: parallel join %v with %d workers: %v", strategy, w, err))
+			}
+			row := ParallelRow{
+				Strategy:     strategy,
+				Workers:      w,
+				Pairs:        res.Count,
+				DiskAccesses: res.Metrics.DiskAccesses(),
+				HitRate:      res.WorkerBufferHitRate(),
+				TaskSkew:     res.TaskSkew(),
+				CompSkew:     res.ComparisonSkew(),
+				DiskSkew:     res.DiskSkew(),
+			}
+			for _, n := range res.WorkerTasks {
+				row.Tasks += n
+			}
+			if seqDisk := seq.Metrics.DiskAccesses(); seqDisk > 0 {
+				row.DiskOverhead = float64(res.Metrics.DiskAccesses()) / float64(seqDisk)
+			}
+			if par := ParallelEstimate(s.model, res, ParallelPageSize); par.TotalSeconds() > 0 {
+				row.EstSpeedup = seqEst.TotalSeconds() / par.TotalSeconds()
+			}
+			rows = append(rows, row)
 		}
-		row := ParallelRow{Workers: w, Pairs: res.Count, DiskAccesses: res.Metrics.DiskAccesses()}
-		tasks := make([]int64, len(res.WorkerTasks))
-		for i, n := range res.WorkerTasks {
-			row.Tasks += n
-			tasks[i] = int64(n)
-		}
-		comps := make([]int64, len(res.WorkerMetrics))
-		pairs := make([]int64, len(res.WorkerMetrics))
-		for i, m := range res.WorkerMetrics {
-			comps[i] = m.Comparisons
-			pairs[i] = m.PairsReported
-		}
-		row.TaskSkew = skew(tasks)
-		row.CompSkew = skew(comps)
-		row.PairSkew = skew(pairs)
-		if par := ParallelEstimate(s.model, res, ParallelPageSize); par.TotalSeconds() > 0 {
-			row.EstSpeedup = seqEst.TotalSeconds() / par.TotalSeconds()
-		}
-		rows = append(rows, row)
 	}
 	return rows
 }
 
 // ParallelEstimate converts one ParallelJoin result into an estimated
 // parallel execution time under the paper's cost model: the planning cost
-// (counters not attributed to any worker) plus the estimate of the slowest
-// worker, which is the critical path of the partitioned execution.
+// plus the estimate of the slowest worker, which is the critical path of the
+// partitioned execution.
 func ParallelEstimate(model costmodel.Model, res *join.Result, pageSize int) costmodel.Estimate {
-	planning := res.Metrics
 	var worst costmodel.Estimate
 	for _, m := range res.WorkerMetrics {
-		planning = planning.Sub(m)
 		if est := model.EstimateSnapshot(m, pageSize); est.TotalSeconds() > worst.TotalSeconds() {
 			worst = est
 		}
 	}
-	planEst := model.EstimateSnapshot(planning, pageSize)
+	planEst := model.EstimateSnapshot(res.PlanMetrics, pageSize)
 	return costmodel.Estimate{
 		IOSeconds:  planEst.IOSeconds + worst.IOSeconds,
 		CPUSeconds: planEst.CPUSeconds + worst.CPUSeconds,
 	}
 }
 
-// PrintTableParallel writes the parallel load-balance rows.
+// PrintTableParallel writes the parallel load-balance rows grouped by
+// partition strategy.
 func PrintTableParallel(w io.Writer, rows []ParallelRow) {
-	writeHeader(w, "Parallel join (SJ4, 4 KByte pages, 128 KB buffer): per-worker load balance")
-	fmt.Fprintf(w, "%-9s %8s %10s %14s %12s %12s %12s %12s\n",
-		"workers", "tasks", "pairs", "disk accesses", "task skew", "comp skew", "pair skew", "est speedup")
+	writeHeader(w, "Parallel join (SJ4, 4 KByte pages, 128 KB buffer): partition strategies")
+	fmt.Fprintf(w, "%-12s %-8s %6s %8s %12s %9s %8s %10s %10s %10s %11s\n",
+		"strategy", "workers", "tasks", "pairs", "disk acc", "overhead", "hit rate",
+		"task skew", "comp skew", "disk skew", "est speedup")
+	last := join.PartitionStrategy(-1)
 	for _, row := range rows {
-		fmt.Fprintf(w, "%-9d %8d %10d %14d %12.2f %12.2f %12.2f %12.2f\n",
-			row.Workers, row.Tasks, row.Pairs, row.DiskAccesses,
-			row.TaskSkew, row.CompSkew, row.PairSkew, row.EstSpeedup)
+		if row.Strategy != last && last != join.PartitionStrategy(-1) {
+			fmt.Fprintln(w)
+		}
+		last = row.Strategy
+		fmt.Fprintf(w, "%-12s %-8d %6d %8d %12d %9.2f %8.2f %10.2f %10.2f %10.2f %11.2f\n",
+			row.Strategy, row.Workers, row.Tasks, row.Pairs, row.DiskAccesses,
+			row.DiskOverhead, row.HitRate, row.TaskSkew, row.CompSkew, row.DiskSkew, row.EstSpeedup)
 	}
-	fmt.Fprintln(w, "(skew = max/mean over the workers, 1.00 is perfectly balanced; est speedup is"+
-		"\n estimated sequential time over the parallel critical path, section-5 cost model)")
+	fmt.Fprintln(w, "(skew = max/mean over the workers, 1.00 is perfectly balanced; overhead = disk"+
+		"\n accesses over the sequential join's; est speedup = estimated sequential time"+
+		"\n over the parallel critical path, section-5 cost model)")
 }

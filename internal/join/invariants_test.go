@@ -1,0 +1,118 @@
+package join
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// sortedPairHash returns the order-insensitive golden hash of a result set:
+// the FNV-1a fold of the pairs after SortPairs.  The pairs slice is sorted
+// in place.
+func sortedPairHash(pairs []Pair) uint64 {
+	SortPairs(pairs)
+	h := uint64(14695981039346656037)
+	for _, p := range pairs {
+		h = (h ^ uint64(uint32(p.R))) * 1099511628211
+		h = (h ^ uint64(uint32(p.S))) * 1099511628211
+	}
+	return h
+}
+
+// parallelVariants enumerates the schedule dimension of the invariant suite:
+// the dynamic queue plus the three static strategies.
+var parallelVariants = []PartitionStrategy{
+	PartitionDynamic, PartitionRoundRobin, PartitionLPT, PartitionSpatial,
+}
+
+// checkParallelAgainst runs ParallelJoin in both pair modes (materialised
+// and OnPair+DiscardPairs) and checks the result-set invariants against the
+// sequential golden hash and count.
+func checkParallelAgainst(t *testing.T, label string, wantHash uint64, wantCount int,
+	run func(onPair func(Pair), discard bool) (*Result, error)) {
+	t.Helper()
+
+	// Materialised pairs: sorted set equals the sequential result, and the
+	// count matches the materialisation.
+	res, err := run(nil, false)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if res.Count != len(res.Pairs) {
+		t.Errorf("%s: Count=%d but %d pairs materialised", label, res.Count, len(res.Pairs))
+	}
+	if got := sortedPairHash(res.Pairs); got != wantHash || res.Count != wantCount {
+		t.Errorf("%s: materialised result differs from sequential join (count %d vs %d, hash %d vs %d)",
+			label, res.Count, wantCount, got, wantHash)
+	}
+
+	// Streaming: OnPair with DiscardPairs sees the same set, with nothing
+	// materialised.
+	var streamed []Pair
+	res, err = run(func(p Pair) { streamed = append(streamed, p) }, true)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if len(res.Pairs) != 0 {
+		t.Errorf("%s: DiscardPairs materialised %d pairs", label, len(res.Pairs))
+	}
+	if res.Count != len(streamed) {
+		t.Errorf("%s: Count=%d but %d pairs streamed", label, res.Count, len(streamed))
+	}
+	if got := sortedPairHash(streamed); got != wantHash {
+		t.Errorf("%s: streamed result differs from sequential join (hash %d vs %d)", label, got, wantHash)
+	}
+}
+
+// TestParallelJoinInvariants checks result-set equality of ParallelJoin with
+// the sequential join over the full matrix: every tree algorithm SJ1-SJ5,
+// every partition strategy (dynamic queue plus the three static schedules),
+// and both pair modes.  Equality is by sorted-pair golden hash, since the
+// parallel pair order is schedule-dependent.
+func TestParallelJoinInvariants(t *testing.T) {
+	r, s, _, _ := buildPair(t, 1500, 1500, storage.PageSize1K)
+	for _, method := range Methods {
+		opts := Options{Method: method, BufferBytes: 64 << 10, UsePathBuffer: true, DiscardPairs: true}
+		seq, err := Join(r, s, Options{Method: method, BufferBytes: 64 << 10, UsePathBuffer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHash := sortedPairHash(seq.Pairs)
+		for _, strategy := range parallelVariants {
+			label := fmt.Sprintf("%v/%v", method, strategy)
+			checkParallelAgainst(t, label, wantHash, seq.Count,
+				func(onPair func(Pair), discard bool) (*Result, error) {
+					o := opts
+					o.OnPair = onPair
+					o.DiscardPairs = discard
+					return ParallelJoin(r, s, ParallelOptions{Options: o, Workers: 4, Strategy: strategy})
+				})
+		}
+	}
+}
+
+// TestParallelJoinInvariantsHeights runs the same invariants on trees of
+// different heights, sweeping the section-4.4 height policies against every
+// partition strategy.
+func TestParallelJoinInvariantsHeights(t *testing.T) {
+	r, s := buildHeightPair(t)
+	for _, policy := range []HeightPolicy{PolicyWindowPerPair, PolicyBatchedWindows, PolicySweepOrder} {
+		opts := Options{Method: SJ4, BufferBytes: 32 << 10, UsePathBuffer: true, HeightPolicy: policy}
+		seq, err := Join(r, s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHash := sortedPairHash(seq.Pairs)
+		for _, strategy := range parallelVariants {
+			label := fmt.Sprintf("heights/%v/%v", policy, strategy)
+			checkParallelAgainst(t, label, wantHash, seq.Count,
+				func(onPair func(Pair), discard bool) (*Result, error) {
+					o := opts
+					o.OnPair = onPair
+					o.DiscardPairs = discard
+					return ParallelJoin(r, s, ParallelOptions{Options: o, Workers: 3, Strategy: strategy})
+				})
+		}
+	}
+}

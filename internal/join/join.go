@@ -160,6 +160,87 @@ type Result struct {
 	// (pulled from the shared queue, or assigned by the static schedule); it
 	// is aligned with WorkerMetrics.
 	WorkerTasks []int
+	// Strategy records the partition strategy of a ParallelJoin (zero for
+	// sequential joins and sequential fallbacks).
+	Strategy PartitionStrategy
+	// PlanMetrics is the planning-only slice of Metrics for a ParallelJoin:
+	// the root and split reads plus the qualifying-pair comparisons charged
+	// before any worker ran.  Metrics minus PlanMetrics is the sum of
+	// WorkerMetrics; on the sequential fallback (no workers) PlanMetrics
+	// equals Metrics.
+	PlanMetrics metrics.Snapshot
+}
+
+// workerSkew folds one value per worker with fn and returns max/mean over
+// the workers (1.0 = perfectly balanced), or 0 when there are no workers or
+// the values sum to zero.
+func (r *Result) workerSkew(fn func(metrics.Snapshot) int64) float64 {
+	if len(r.WorkerMetrics) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, m := range r.WorkerMetrics {
+		v := fn(m)
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(r.WorkerMetrics)) / float64(sum)
+}
+
+// TaskSkew returns max/mean of the per-worker task counts of a ParallelJoin
+// (1.0 = perfectly balanced, 0 for sequential results).
+func (r *Result) TaskSkew() float64 {
+	if len(r.WorkerTasks) == 0 {
+		return 0
+	}
+	var sum, max int
+	for _, n := range r.WorkerTasks {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(r.WorkerTasks)) / float64(sum)
+}
+
+// ComparisonSkew returns max/mean of the per-worker join comparisons.
+func (r *Result) ComparisonSkew() float64 {
+	return r.workerSkew(func(m metrics.Snapshot) int64 { return m.Comparisons })
+}
+
+// DiskSkew returns max/mean of the per-worker disk accesses.
+func (r *Result) DiskSkew() float64 {
+	return r.workerSkew(func(m metrics.Snapshot) int64 { return m.DiskAccesses() })
+}
+
+// PairSkew returns max/mean of the per-worker reported pairs.
+func (r *Result) PairSkew() float64 {
+	return r.workerSkew(func(m metrics.Snapshot) int64 { return m.PairsReported })
+}
+
+// WorkerBufferHitRate returns the share of worker node accesses satisfied
+// from a buffer (LRU or path), the locality measure of the partitioning: a
+// schedule whose tasks share subtrees hits its per-worker buffer partition
+// more often.  It returns 0 when no worker metrics are present.
+func (r *Result) WorkerBufferHitRate() float64 {
+	var hits, reads int64
+	for _, m := range r.WorkerMetrics {
+		hits += m.BufferHits + m.PathHits
+		reads += m.DiskReads
+	}
+	total := hits + reads
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
 }
 
 // Errors returned by Join.

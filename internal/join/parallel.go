@@ -2,6 +2,7 @@ package join
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/rtree"
+	"repro/internal/sweep"
 )
 
 // ParallelOptions configures ParallelJoin.
@@ -24,15 +26,23 @@ type ParallelOptions struct {
 	// Workers is clamped to the number of tasks, so small joins never spin up
 	// idle goroutines with starved buffer partitions.
 	Workers int
-	// StaticPartition assigns tasks to workers round-robin over the
-	// area-sorted task list instead of letting workers pull from the shared
-	// queue.  The dynamic queue balances better on real multi-core machines,
-	// but its distribution depends on scheduling (on a single core one worker
-	// may drain the whole queue before the others start); the static schedule
-	// is deterministic, which makes the per-worker snapshots reproducible and
-	// the cost-model speedup of a simulated N-worker execution meaningful on
-	// any machine.
-	StaticPartition bool
+	// Strategy selects how tasks are assigned to workers.  The default,
+	// PartitionDynamic, lets workers pull from a shared queue; the static
+	// strategies (PartitionRoundRobin, PartitionLPT, PartitionSpatial)
+	// compute a deterministic per-worker schedule, which makes the
+	// per-worker snapshots reproducible and the cost-model speedup of a
+	// simulated N-worker execution meaningful on any machine.
+	Strategy PartitionStrategy
+	// MinTasksPerWorker, when above 1, makes the planner keep splitting
+	// tasks one level deeper until it has at least MinTasksPerWorker tasks
+	// per worker (or only leaf-level tasks remain).  Bulk-loaded trees have
+	// root fan-outs near the page capacity, so the root level often yields a
+	// handful of giant tasks; finer tasks cost extra planning work but let
+	// the static strategies balance load and, for PartitionSpatial, give
+	// each worker enough neighbouring tasks to share subtrees.  0 or 1
+	// keeps the default: split only while there are fewer tasks than
+	// workers.
+	MinTasksPerWorker int
 }
 
 // parallelTask is one independent sub-join: the pair of subtrees referenced
@@ -56,6 +66,30 @@ type parallelWorker struct {
 }
 
 var parallelWorkerPool sync.Pool
+
+// planState is the planning-side buffer state (LRU plus tracker), recycled
+// through a pool like the worker state so repeated joins do not rebuild the
+// frame pool per run.
+type planState struct {
+	lru     *buffer.LRU
+	tracker *buffer.Tracker
+}
+
+var planPool sync.Pool
+
+// getPlanState returns a plan tracker backed by a buffer of bufferBytes,
+// charging accesses to col.
+func getPlanState(bufferBytes, pageSize int, usePathBuffer bool, col *metrics.Collector) *planState {
+	v := planPool.Get()
+	if v == nil {
+		lru := buffer.NewLRUForBytes(bufferBytes, pageSize)
+		return &planState{lru: lru, tracker: buffer.NewTracker(lru, col, pageSize, usePathBuffer)}
+	}
+	p := v.(*planState)
+	p.lru.ReconfigureForBytes(bufferBytes, pageSize)
+	p.tracker.Reconfigure(col, pageSize, usePathBuffer)
+	return p
+}
 
 // getParallelWorker returns a worker configured for this run's buffer
 // partition, reusing pooled state when available.
@@ -98,16 +132,21 @@ func getParallelWorker(bufferBytes, pageSize int, usePathBuffer bool) *parallelW
 // level deeper (repeatedly, while it helps) so every worker has work to do.
 //
 // The result set is identical to the sequential join; the order of the
-// materialised pairs depends on the scheduling.  OnPair, if set, is invoked
-// while the workers run, serialised by a mutex, so streaming consumers keep
-// O(1) memory with DiscardPairs — opting into the callback is what buys back
-// that one contention point.  The reported metrics are the sums over all
-// workers plus the planning costs, so disk accesses are those of a
-// partitioned buffer rather than one shared buffer; when the planner splits,
-// the node pairs it expands are charged as plain planning comparisons rather
-// than the PairsTested/sorting accounting the sequential algorithms would
-// record for the same pairs, so CPU measures are comparable only between
-// runs with the same effective task depth.
+// materialised pairs depends on the scheduling (SortPairs restores a
+// canonical order).  OnPair, if set, is invoked while the workers run,
+// serialised by a mutex, so streaming consumers keep O(1) memory with
+// DiscardPairs — opting into the callback is what buys back that one
+// contention point.  The reported metrics are the sums over all workers plus
+// the planning costs (also published separately as Result.PlanMetrics), so
+// disk accesses are those of a partitioned buffer rather than one shared
+// buffer.  Planning reads go through their own LRU buffer of
+// Options.BufferBytes — the whole buffer, since planning precedes the
+// partitioning — so a node inspected for several qualifying pairs is charged
+// one disk read, exactly as the sequential join would charge it.  When the
+// planner splits, the node pairs it expands are charged the restriction,
+// sorting and sweep comparisons the CPU-tuned sequential algorithms would
+// charge (but no PairsTested accounting), so CPU measures are comparable
+// only between runs with the same effective task depth.
 func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	if r == nil || s == nil {
 		return nil, ErrNilTree
@@ -119,9 +158,22 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	if opts.Method == NestedLoop {
 		return nil, ErrParallelNestedLoop
 	}
+	switch popts.Strategy {
+	case PartitionDynamic, PartitionRoundRobin, PartitionLPT, PartitionSpatial:
+	default:
+		return nil, fmt.Errorf("join: %w: %v", ErrUnknownPartitionStrategy, popts.Strategy)
+	}
 	if r.Root().IsLeaf() || s.Root().IsLeaf() {
 		// Trees this small offer no parallelism; run the sequential join.
-		return Join(r, s, opts)
+		// No workers ran, so the whole cost is "planning": PlanMetrics =
+		// Metrics keeps the invariant that Metrics minus PlanMetrics is the
+		// sum of WorkerMetrics, and cost-model consumers (ParallelEstimate)
+		// see the sequential cost instead of zero.
+		res, err := Join(r, s, opts)
+		if err == nil {
+			res.PlanMetrics = res.Metrics
+		}
+		return res, err
 	}
 	workers := popts.Workers
 	if workers <= 0 {
@@ -140,9 +192,12 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	// Planning: enumerate all pairs of root entries whose rectangles
 	// intersect; each is an independent sub-join of two subtrees.  Planning
 	// reads (the roots and any nodes opened while splitting) go through a
-	// bufferless tracker charged to the shared collector.
+	// plan tracker backed by the full configured buffer — planning runs
+	// before the buffer is partitioned across workers — so a child node that
+	// qualifies in several pairs is charged one disk read, not one per pair.
 	var plan metrics.Local
-	planTracker := buffer.NewTracker(buffer.NewLRUForBytes(0, r.PageSize()), collector, r.PageSize(), opts.UsePathBuffer)
+	ps := getPlanState(opts.BufferBytes, r.PageSize(), opts.UsePathBuffer, collector)
+	planTracker := ps.tracker
 	r.AccessNode(planTracker, r.Root())
 	s.AccessNode(planTracker, s.Root())
 	var tasks []parallelTask
@@ -157,31 +212,44 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 		}
 	}
 	plan.Comparisons += comps
-	// With fewer qualifying root pairs than workers, split one level deeper
-	// so the task list offers enough parallelism; repeat while it helps.
-	for len(tasks) > 0 && len(tasks) < workers {
-		split, ok := splitTasks(r, s, tasks, planTracker, &plan)
+	// With fewer qualifying root pairs than workers (times the configured
+	// granularity), split one level deeper so the task list offers enough
+	// parallelism; repeat while it helps.
+	minTasks := workers
+	if popts.MinTasksPerWorker > 1 {
+		minTasks = workers * popts.MinTasksPerWorker
+	}
+	var scratch splitScratch
+	for len(tasks) > 0 && len(tasks) < minTasks {
+		split, ok := splitTasks(r, s, tasks, planTracker, &plan, &scratch)
 		if !ok {
 			break
 		}
 		tasks = split
 	}
 	plan.FlushTo(collector)
+	planPool.Put(ps)
 
-	res := &Result{Method: opts.Method}
+	res := &Result{Method: opts.Method, Strategy: popts.Strategy}
+	res.PlanMetrics = collector.Snapshot().Sub(before)
 	if len(tasks) == 0 {
-		res.Metrics = collector.Snapshot().Sub(before)
+		res.Metrics = res.PlanMetrics
 		return res, nil
 	}
-	// Larger intersection areas first gives a better load balance.
-	sort.SliceStable(tasks, func(i, j int) bool {
-		return tasks[i].er.Rect.IntersectionArea(tasks[i].es.Rect) >
-			tasks[j].er.Rect.IntersectionArea(tasks[j].es.Rect)
-	})
+	if popts.Strategy == PartitionDynamic || popts.Strategy == PartitionRoundRobin {
+		// Larger intersection areas first gives a better load balance for
+		// the queue and the round-robin deal; the LPT and spatial strategies
+		// define their own task orders.
+		sort.SliceStable(tasks, func(i, j int) bool {
+			return tasks[i].er.Rect.IntersectionArea(tasks[i].es.Rect) >
+				tasks[j].er.Rect.IntersectionArea(tasks[j].es.Rect)
+		})
+	}
 
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	schedule := buildSchedule(popts.Strategy, r, s, tasks, workers)
 	perWorkerBuffer := opts.BufferBytes / workers
 	if opts.BufferBytes > 0 && perWorkerBuffer < r.PageSize() {
 		// A configured buffer smaller than one page per worker would silently
@@ -242,8 +310,8 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 					e.sweepJoin(t.er.Child, t.es.Child, rect, opts.Method, 0)
 				}
 			}
-			if popts.StaticPartition {
-				for i := w; i < len(tasks); i += workers {
+			if schedule != nil {
+				for _, i := range schedule[w] {
 					runTask(tasks[i])
 				}
 			} else {
@@ -282,38 +350,92 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	return res, nil
 }
 
+// splitScratch holds the buffers splitTasks reuses across split rounds: the
+// restricted, x-sorted entry and rectangle sequences of the two nodes being
+// expanded, the sweep's output pairs, and the index-sort machinery shared
+// with the executor (arena.go's idxSorter/stableSort), so repeated split
+// rounds charge the same comparison counts as the worker-side sorts and
+// allocate nothing per node pair.
+type splitScratch struct {
+	rEnts, sEnts   []rtree.Entry
+	rRects, sRects []geom.Rect
+	pairs          []sweep.Pair
+	idx            []int32
+	sorted         []rtree.Entry
+	sorter         idxSorter
+}
+
+// restrict appends the entries of n intersecting the parent intersection
+// rectangle (the section-4.2 search-space restriction), charging the
+// comparisons to plan, and returns them sorted by lower x-corner together
+// with the parallel rectangle sequence the sweep consumes.
+func (sc *splitScratch) restrict(n *rtree.Node, inter geom.Rect, ents []rtree.Entry, rects []geom.Rect, plan *metrics.Local) ([]rtree.Entry, []geom.Rect) {
+	ents = ents[:0]
+	var comps int64
+	for _, e := range n.Entries {
+		ok, cost := geom.IntersectsCost(e.Rect, inter)
+		comps += cost
+		if ok {
+			ents = append(ents, e)
+		}
+	}
+	plan.Comparisons += comps
+	plan.NodeSorts++
+	sc.idx = sc.idx[:0]
+	for i := range ents {
+		sc.idx = append(sc.idx, int32(i))
+	}
+	sc.sorter.idx, sc.sorter.entries, sc.sorter.comps = sc.idx, ents, 0
+	stableSort(&sc.sorter, len(sc.idx))
+	plan.SortComparisons += sc.sorter.comps
+	sc.sorter.idx, sc.sorter.entries = nil, nil
+	sc.sorted = sc.sorted[:0]
+	rects = rects[:0]
+	for _, i := range sc.idx {
+		sc.sorted = append(sc.sorted, ents[i])
+		rects = append(rects, ents[i].Rect)
+	}
+	copy(ents, sc.sorted)
+	return ents, rects
+}
+
 // splitTasks replaces every task whose two subtrees are directory nodes by
 // the qualifying pairs of their children, reading the two nodes through the
 // planning tracker.  It reports false when nothing could be split (all tasks
 // reference leaf nodes), in which case the task list is returned unchanged.
 //
+// The qualifying child pairs are found the way the CPU-tuned sequential
+// algorithms find them — restrict both entry sets to the parents'
+// intersection rectangle, sort by lower x-corner and run the sorted
+// intersection test — so splitting a level of bulk-loaded trees with
+// page-capacity fan-outs costs O(n log n) planning comparisons per node
+// pair instead of the n² of the naive pairing.
+//
 // Splitting preserves the result set: a child pair whose rectangles do not
 // intersect cannot contribute any result, and the search-space restriction
-// applied by the sequential algorithms never removes entries that take part
-// in an intersecting pair.
-func splitTasks(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker, plan *metrics.Local) ([]parallelTask, bool) {
+// never removes entries that take part in an intersecting pair.
+func splitTasks(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker, plan *metrics.Local, sc *splitScratch) ([]parallelTask, bool) {
 	split := false
 	out := make([]parallelTask, 0, 2*len(tasks))
-	var comps int64
 	for _, t := range tasks {
 		if t.er.Child.IsLeaf() || t.es.Child.IsLeaf() {
 			out = append(out, t)
 			continue
 		}
+		inter, ok := t.er.Rect.Intersection(t.es.Rect)
+		if !ok {
+			continue // qualifying tasks always intersect; degenerate guard
+		}
 		split = true
 		r.AccessNode(tracker, t.er.Child)
 		s.AccessNode(tracker, t.es.Child)
-		for _, er := range t.er.Child.Entries {
-			for _, es := range t.es.Child.Entries {
-				ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
-				comps += cost
-				if ok {
-					out = append(out, parallelTask{er: er, es: es})
-				}
-			}
+		sc.rEnts, sc.rRects = sc.restrict(t.er.Child, inter, sc.rEnts, sc.rRects, plan)
+		sc.sEnts, sc.sRects = sc.restrict(t.es.Child, inter, sc.sEnts, sc.sRects, plan)
+		sc.pairs = sweep.AppendPairs(sc.rRects, sc.sRects, plan, sc.pairs[:0])
+		for _, p := range sc.pairs {
+			out = append(out, parallelTask{er: sc.rEnts[p.R], es: sc.sEnts[p.S]})
 		}
 	}
-	plan.Comparisons += comps
 	if !split {
 		return tasks, false
 	}
@@ -323,3 +445,7 @@ func splitTasks(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker,
 // ErrParallelNestedLoop is returned when ParallelJoin is asked to run the
 // index-free nested-loop baseline, which it does not support.
 var ErrParallelNestedLoop = errors.New("join: ParallelJoin supports only the tree-based methods SJ1-SJ5")
+
+// ErrUnknownPartitionStrategy is returned when ParallelOptions.Strategy is
+// not one of the defined strategies.
+var ErrUnknownPartitionStrategy = errors.New("unknown partition strategy")

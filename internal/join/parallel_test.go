@@ -34,6 +34,18 @@ func TestParallelJoinMatchesSequential(t *testing.T) {
 			if res.Metrics.Comparisons == 0 || res.Metrics.DiskReads == 0 {
 				t.Fatalf("%v/%d workers: missing metrics", method, workers)
 			}
+			if workers > 1 {
+				// Skew accessors are max/mean over the workers, so they are
+				// at least 1 whenever any worker did the respective work.
+				for name, skew := range map[string]float64{
+					"task": res.TaskSkew(), "comp": res.ComparisonSkew(),
+					"disk": res.DiskSkew(), "pair": res.PairSkew(),
+				} {
+					if skew < 1 {
+						t.Errorf("%v/%d workers: %s skew %.3f < 1", method, workers, name, skew)
+					}
+				}
+			}
 		}
 	}
 }
@@ -81,6 +93,92 @@ func TestParallelJoinStreamsPairs(t *testing.T) {
 	}
 	if len(res.Pairs) != 0 || streamed != res.Count || res.Count == 0 {
 		t.Fatalf("streamed=%d count=%d pairs=%d", streamed, res.Count, len(res.Pairs))
+	}
+}
+
+// TestParallelWorkers1MatchesSequentialDiskAccesses pins the planning-I/O
+// fix: with one worker the parallel join reads the pages the sequential join
+// reads — the plan tracker's buffer dedupes planning reads the way the
+// sequential join's shared buffer would.  The documented delta: exactly zero
+// once the buffer holds the working set (every distinct page is read once on
+// either side, independent of task order); for smaller buffers the parallel
+// task order differs from the sequential read schedule, so path-buffer hits
+// and eviction order may shift the count by a handful of accesses.  Before
+// the fix, any run whose planner split tasks over-counted by one read per
+// extra qualifying pair (see TestParallelPlanningChargesNodesOnce).
+func TestParallelWorkers1MatchesSequentialDiskAccesses(t *testing.T) {
+	r, s, _, _ := buildPair(t, 3000, 3000, storage.PageSize1K)
+	for _, method := range []Method{SJ1, SJ4} {
+		for _, cfg := range []struct {
+			bufferBytes int
+			maxDelta    int64
+		}{
+			{0, 2},
+			{32 << 10, 6},
+			{128 << 10, 0},
+			{512 << 10, 0},
+		} {
+			opts := Options{Method: method, BufferBytes: cfg.bufferBytes, UsePathBuffer: true, DiscardPairs: true}
+			seq, err := Join(r, s, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, strategy := range StaticPartitionStrategies {
+				par, err := ParallelJoin(r, s, ParallelOptions{Options: opts, Workers: 1, Strategy: strategy})
+				if err != nil {
+					t.Fatal(err)
+				}
+				delta := par.Metrics.DiskAccesses() - seq.Metrics.DiskAccesses()
+				if delta < 0 {
+					delta = -delta
+				}
+				if delta > cfg.maxDelta {
+					t.Errorf("%v/%v buffer=%d: parallel workers=1 charged %d disk accesses, sequential %d (delta %d > %d)",
+						method, strategy, cfg.bufferBytes, par.Metrics.DiskAccesses(), seq.Metrics.DiskAccesses(), delta, cfg.maxDelta)
+				}
+				if par.PlanMetrics.DiskReads != 2 {
+					t.Errorf("%v/%v: planning with no split must read exactly the two roots, got %d",
+						method, strategy, par.PlanMetrics.DiskReads)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelPlanningChargesNodesOnce forces the planner to split tasks one
+// level deeper and asserts that planning disk reads stay bounded by the
+// number of distinct directory pages of the two trees.  The pre-fix
+// bufferless plan tracker charged a child node once per qualifying pair it
+// appeared in, which exceeds this bound as soon as entries qualify in more
+// than one pair.
+func TestParallelPlanningChargesNodesOnce(t *testing.T) {
+	r, s, _, _ := buildPair(t, 3000, 3000, storage.PageSize1K)
+	rootPairs := len(planTasks(r, s))
+	if rootPairs < 2 {
+		t.Fatalf("want at least 2 qualifying root pairs, got %d", rootPairs)
+	}
+	res, err := ParallelJoin(r, s, ParallelOptions{
+		Options:  Options{Method: SJ4, BufferBytes: 128 << 10, UsePathBuffer: true, DiscardPairs: true},
+		Workers:  rootPairs + 1, // more workers than root pairs forces a split
+		Strategy: PartitionRoundRobin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := 0
+	for _, n := range res.WorkerTasks {
+		tasks += n
+	}
+	if tasks <= rootPairs {
+		t.Fatalf("planner did not split: %d tasks from %d root pairs", tasks, rootPairs)
+	}
+	maxDistinct := int64(r.Stats().DirPages + s.Stats().DirPages)
+	if res.PlanMetrics.DiskReads > maxDistinct {
+		t.Errorf("planning charged %d disk reads for at most %d distinct directory pages (over-count regression)",
+			res.PlanMetrics.DiskReads, maxDistinct)
+	}
+	if got := res.Metrics.Sub(res.PlanMetrics).DiskReads; got <= 0 {
+		t.Errorf("worker disk reads = %d, want > 0", got)
 	}
 }
 

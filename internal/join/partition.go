@@ -1,0 +1,342 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/zorder"
+)
+
+// PartitionStrategy selects how ParallelJoin assigns the planned sub-join
+// tasks to workers.  The zero value is the dynamic shared queue; the three
+// static strategies produce a deterministic per-worker schedule, which makes
+// the per-worker snapshots (Result.WorkerMetrics) reproducible machine
+// properties of the plan rather than of goroutine scheduling.
+type PartitionStrategy int
+
+const (
+	// PartitionDynamic lets workers pull tasks off a shared queue with one
+	// atomic fetch-add per task.  It balances best on real multi-core
+	// machines but its per-worker split depends on scheduling (on a single
+	// core one worker may drain the whole queue before the others start).
+	PartitionDynamic PartitionStrategy = iota
+	// PartitionRoundRobin deals the tasks, sorted by descending intersection
+	// area, round-robin over the workers.  This was the original static
+	// schedule; it balances task counts but ignores both cost and locality.
+	PartitionRoundRobin
+	// PartitionLPT packs tasks onto workers greedily by descending cost-model
+	// estimate (longest-processing-time bin packing): each task goes to the
+	// currently least-loaded worker.  It minimises the estimated critical
+	// path but, like round-robin, scatters spatially adjacent tasks across
+	// workers.
+	PartitionLPT
+	// PartitionSpatial tiles the joint root intersection into contiguous
+	// spatial regions: tasks are ordered along the Hilbert curve of their
+	// intersection-rectangle centres (the same curve the Hilbert bulk loader
+	// packs with) and cut into one contiguous, estimate-balanced run per
+	// worker.  Tasks that share a subtree have nearby intersection centres,
+	// so they land on the same worker and its private LRU partition actually
+	// gets reuse — the shared-nothing region assignment the paper's
+	// future-work section points at.
+	PartitionSpatial
+)
+
+// String implements fmt.Stringer.
+func (s PartitionStrategy) String() string {
+	switch s {
+	case PartitionDynamic:
+		return "dynamic"
+	case PartitionRoundRobin:
+		return "round-robin"
+	case PartitionLPT:
+		return "lpt"
+	case PartitionSpatial:
+		return "spatial"
+	default:
+		return fmt.Sprintf("PartitionStrategy(%d)", int(s))
+	}
+}
+
+// StaticPartitionStrategies lists the deterministic strategies in the order
+// the experiments sweep them.
+var StaticPartitionStrategies = []PartitionStrategy{PartitionRoundRobin, PartitionLPT, PartitionSpatial}
+
+// subtreeModel estimates the size of a subtree from catalog statistics (the
+// tree's page and entry counts), the kind of metadata a query planner has
+// without performing any I/O.
+type subtreeModel struct {
+	fanout  float64 // average directory fan-out
+	leafEnt float64 // average data entries per leaf
+}
+
+func newSubtreeModel(t *rtree.Tree) subtreeModel {
+	st := t.Stats()
+	m := subtreeModel{fanout: float64(t.MaxEntries()), leafEnt: float64(t.MaxEntries())}
+	if st.DirPages > 0 {
+		m.fanout = float64(st.DirEntries) / float64(st.DirPages)
+	}
+	if st.DataPages > 0 {
+		m.leafEnt = float64(st.DataEntries) / float64(st.DataPages)
+	}
+	return m
+}
+
+// pages returns the expected page count of a subtree whose root node sits at
+// the given level (0 = leaf).
+func (m subtreeModel) pages(level int) float64 {
+	pages, width := 1.0, 1.0
+	for l := 0; l < level; l++ {
+		width *= m.fanout
+		pages += width
+	}
+	return pages
+}
+
+// entries returns the expected data-entry count below a node at the given
+// level.
+func (m subtreeModel) entries(level int) float64 {
+	width := m.leafEnt
+	for l := 0; l < level; l++ {
+		width *= m.fanout
+	}
+	return width
+}
+
+// taskEstimator converts one planned task into an estimated execution time
+// under the paper's cost model.  The expected I/O is the share of each
+// subtree's pages overlapping the task's intersection rectangle; the
+// expected CPU is the product of the expected data entries on either side.
+// The estimates only rank tasks for scheduling, so fidelity matters less
+// than determinism: identical inputs always produce identical schedules.
+type taskEstimator struct {
+	model    costmodel.Model
+	pageSize int
+	r, s     subtreeModel
+}
+
+func newTaskEstimator(r, s *rtree.Tree) taskEstimator {
+	return taskEstimator{
+		model:    costmodel.Default(),
+		pageSize: r.PageSize(),
+		r:        newSubtreeModel(r),
+		s:        newSubtreeModel(s),
+	}
+}
+
+// areaFraction returns the share of an entry rectangle covered by the
+// intersection, treating degenerate (zero-area) rectangles as fully covered.
+func areaFraction(intersection, area float64) float64 {
+	if area <= 0 {
+		return 1
+	}
+	f := intersection / area
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// seconds estimates the cost-model execution time of one task.  Only the
+// task's rectangles and the catalog averages feed the estimate — never the
+// contents of the referenced child nodes, which the planner has not read
+// (and so has not paid I/O for).
+func (e taskEstimator) seconds(t parallelTask) float64 {
+	inter := t.er.Rect.IntersectionArea(t.es.Rect)
+	fr := areaFraction(inter, t.er.Rect.Area())
+	fs := areaFraction(inter, t.es.Rect.Area())
+	pages := fr*e.r.pages(t.er.Child.Level) + fs*e.s.pages(t.es.Child.Level)
+	if pages < 2 {
+		// Every task reads at least its two subtree roots.
+		pages = 2
+	}
+	comps := fr * e.r.entries(t.er.Child.Level) * fs * e.s.entries(t.es.Child.Level)
+	return e.model.Estimate(int64(pages+0.5), e.pageSize, int64(comps+0.5)).TotalSeconds()
+}
+
+// estimates returns the per-task cost estimates.
+func (e taskEstimator) estimates(tasks []parallelTask) []float64 {
+	est := make([]float64, len(tasks))
+	for i, t := range tasks {
+		est[i] = e.seconds(t)
+	}
+	return est
+}
+
+// buildSchedule returns the per-worker schedule of one static strategy: for
+// each worker the ordered indices into tasks it executes.  It returns nil
+// for PartitionDynamic, where workers pull from the shared queue instead.
+// workers must already be clamped to len(tasks), so every worker receives at
+// least one task.  ParallelJoin validates the strategy before planning, so
+// an unknown value cannot reach this switch.
+func buildSchedule(strategy PartitionStrategy, r, s *rtree.Tree, tasks []parallelTask, workers int) [][]int32 {
+	switch strategy {
+	case PartitionRoundRobin:
+		return scheduleRoundRobin(tasks, workers)
+	case PartitionLPT:
+		return scheduleLPT(newTaskEstimator(r, s).estimates(tasks), workers)
+	case PartitionSpatial:
+		return scheduleSpatial(r, s, tasks, workers)
+	default:
+		return nil
+	}
+}
+
+// scheduleRoundRobin deals the area-sorted tasks round-robin; task i goes to
+// worker i mod workers, preserving the descending-area order within each
+// worker.
+func scheduleRoundRobin(tasks []parallelTask, workers int) [][]int32 {
+	schedule := make([][]int32, workers)
+	per := (len(tasks) + workers - 1) / workers
+	for w := range schedule {
+		schedule[w] = make([]int32, 0, per)
+	}
+	for i := range tasks {
+		w := i % workers
+		schedule[w] = append(schedule[w], int32(i))
+	}
+	return schedule
+}
+
+// scheduleLPT performs greedy longest-processing-time bin packing: tasks in
+// descending estimate order each go to the currently least-loaded worker
+// (ties to the lowest worker index, so the schedule is deterministic).
+func scheduleLPT(est []float64, workers int) [][]int32 {
+	order := make([]int32, len(est))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return est[order[a]] > est[order[b]] })
+
+	schedule := make([][]int32, workers)
+	loads := make([]float64, workers)
+	for _, i := range order {
+		w := 0
+		for v := 1; v < workers; v++ {
+			if loads[v] < loads[w] {
+				w = v
+			}
+		}
+		schedule[w] = append(schedule[w], i)
+		loads[w] += est[i]
+	}
+	return schedule
+}
+
+// spatialRegionsPerWorker is how many contiguous Hilbert regions the spatial
+// partitioner cuts per worker before packing regions onto workers.  One
+// region per worker maximises locality but inherits every estimation error
+// of the single cut; a few regions per worker let the LPT packing smooth the
+// errors out while each region stays contiguous, so the locality survives.
+const spatialRegionsPerWorker = 4
+
+// scheduleSpatial orders the tasks along the Hilbert curve of their
+// intersection-rectangle centres over the joint root intersection, cuts the
+// curve into a few contiguous, estimate-balanced regions per worker, and
+// LPT-packs the regions onto the workers.  Workers keep the Hilbert order
+// within every region, so consecutive tasks share subtrees and the worker's
+// buffer partition sees reuse, while the region-level packing keeps the
+// estimated load balanced.
+func scheduleSpatial(r, s *rtree.Tree, tasks []parallelTask, workers int) [][]int32 {
+	world := jointWorld(r, s)
+	keys := make([]uint64, len(tasks))
+	for i, t := range tasks {
+		rect := t.er.Rect
+		if inter, ok := t.er.Rect.Intersection(t.es.Rect); ok {
+			rect = inter
+		}
+		keys[i] = zorder.HilbertKey(rect.Center(), world)
+	}
+	order := make([]int32, len(tasks))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	if workers == 1 {
+		// A single worker keeps the pure Hilbert order; packing regions by
+		// load would only shuffle the run and hurt the buffer.
+		return [][]int32{order}
+	}
+
+	est := newTaskEstimator(r, s).estimates(tasks)
+	regions := workers * spatialRegionsPerWorker
+	if regions > len(tasks) {
+		regions = len(tasks)
+	}
+	runs := contiguousSplit(order, est, regions)
+
+	// LPT over the regions: heaviest region to the least-loaded worker.
+	loads := make([]float64, len(runs))
+	for i, run := range runs {
+		for _, t := range run {
+			loads[i] += est[t]
+		}
+	}
+	schedule := make([][]int32, workers)
+	for w, packed := range scheduleLPT(loads, workers) {
+		for _, region := range packed {
+			schedule[w] = append(schedule[w], runs[region]...)
+		}
+	}
+	return schedule
+}
+
+// jointWorld returns the region the spatial partitioner tiles: the
+// intersection of the two root MBRs (all results live there), falling back
+// to their union for trees that barely overlap.
+func jointWorld(r, s *rtree.Tree) geom.Rect {
+	rm, sm := r.Root().MBR(), s.Root().MBR()
+	if inter, ok := rm.Intersection(sm); ok && inter.Area() > 0 {
+		return inter
+	}
+	return rm.Union(sm)
+}
+
+// contiguousSplit cuts the ordered task list into bins contiguous runs of
+// near-equal total estimate: each bin takes tasks until it reaches its share
+// of the remaining load (taking the task that crosses the target only when
+// that leaves the bin closer to it), always leaving at least one task for
+// every bin still to come.
+func contiguousSplit(order []int32, est []float64, bins int) [][]int32 {
+	remaining := 0.0
+	for _, i := range order {
+		remaining += est[i]
+	}
+	split := make([][]int32, bins)
+	next := 0
+	for b := 0; b < bins; b++ {
+		if b == bins-1 {
+			split[b] = order[next:]
+			break
+		}
+		maxEnd := len(order) - (bins - 1 - b)
+		target := remaining / float64(bins-b)
+		load := 0.0
+		start := next
+		for next < maxEnd {
+			e := est[order[next]]
+			if next > start && (load >= target || load+e-target > target-load) {
+				break
+			}
+			load += e
+			next++
+		}
+		split[b] = order[start:next]
+		remaining -= load
+	}
+	return split
+}
+
+// SortPairs sorts result pairs by (R, S).  ParallelJoin's pair order depends
+// on the schedule, so tests and golden comparisons sort both sides before
+// comparing against the sequential result.
+func SortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].R != pairs[j].R {
+			return pairs[i].R < pairs[j].R
+		}
+		return pairs[i].S < pairs[j].S
+	})
+}

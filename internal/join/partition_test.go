@@ -1,0 +1,222 @@
+package join
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/metrics"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+	"repro/internal/zorder"
+)
+
+// planTasks reproduces the planner's first enumeration step: all pairs of
+// root entries whose rectangles intersect.
+func planTasks(r, s *rtree.Tree) []parallelTask {
+	var tasks []parallelTask
+	for _, er := range r.Root().Entries {
+		for _, es := range s.Root().Entries {
+			if er.Rect.Intersects(es.Rect) {
+				tasks = append(tasks, parallelTask{er: er, es: es})
+			}
+		}
+	}
+	return tasks
+}
+
+// checkSchedule asserts that a schedule is a partition of all task indices
+// with every worker non-empty.
+func checkSchedule(t *testing.T, schedule [][]int32, tasks, workers int) {
+	t.Helper()
+	if len(schedule) != workers {
+		t.Fatalf("schedule has %d workers, want %d", len(schedule), workers)
+	}
+	seen := make(map[int32]bool, tasks)
+	for w, idxs := range schedule {
+		if len(idxs) == 0 {
+			t.Errorf("worker %d received no tasks", w)
+		}
+		for _, i := range idxs {
+			if i < 0 || int(i) >= tasks {
+				t.Fatalf("worker %d: index %d out of range [0,%d)", w, i, tasks)
+			}
+			if seen[i] {
+				t.Fatalf("task %d assigned twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != tasks {
+		t.Fatalf("schedule covers %d of %d tasks", len(seen), tasks)
+	}
+}
+
+func TestBuildScheduleCoversAllTasks(t *testing.T) {
+	r, s, _, _ := buildPair(t, 3000, 3000, storage.PageSize1K)
+	tasks := planTasks(r, s)
+	if len(tasks) < 4 {
+		t.Fatalf("want at least 4 root tasks, got %d", len(tasks))
+	}
+	for _, strategy := range StaticPartitionStrategies {
+		for _, workers := range []int{1, 2, 3, len(tasks)} {
+			checkSchedule(t, buildSchedule(strategy, r, s, tasks, workers), len(tasks), workers)
+		}
+	}
+	if schedule := buildSchedule(PartitionDynamic, r, s, tasks, 4); schedule != nil {
+		t.Fatalf("dynamic strategy must return a nil schedule, got %v", schedule)
+	}
+	if _, err := ParallelJoin(r, s, ParallelOptions{
+		Options:  Options{Method: SJ4},
+		Strategy: PartitionStrategy(99),
+	}); !errors.Is(err, ErrUnknownPartitionStrategy) {
+		t.Fatalf("unknown strategy must be rejected, got %v", err)
+	}
+}
+
+func TestBuildScheduleIsDeterministic(t *testing.T) {
+	r, s, _, _ := buildPair(t, 3000, 3000, storage.PageSize1K)
+	tasks := planTasks(r, s)
+	for _, strategy := range StaticPartitionStrategies {
+		a := buildSchedule(strategy, r, s, tasks, 4)
+		b := buildSchedule(strategy, r, s, tasks, 4)
+		for w := range a {
+			if len(a[w]) != len(b[w]) {
+				t.Fatalf("%v: worker %d sizes differ between runs", strategy, w)
+			}
+			for i := range a[w] {
+				if a[w][i] != b[w][i] {
+					t.Fatalf("%v: worker %d schedule differs between runs", strategy, w)
+				}
+			}
+		}
+	}
+}
+
+// TestLPTBalancesEstimates checks the defining property of the greedy LPT
+// packing: its maximum per-worker estimated load never exceeds the
+// round-robin deal's.
+func TestLPTBalancesEstimates(t *testing.T) {
+	r, s, _, _ := buildPair(t, 4000, 4000, storage.PageSize1K)
+	tasks := planTasks(r, s)
+	est := newTaskEstimator(r, s).estimates(tasks)
+	for _, e := range est {
+		if e <= 0 {
+			t.Fatal("task estimates must be positive")
+		}
+	}
+	maxLoad := func(schedule [][]int32) float64 {
+		worst := 0.0
+		for _, idxs := range schedule {
+			load := 0.0
+			for _, i := range idxs {
+				load += est[i]
+			}
+			if load > worst {
+				worst = load
+			}
+		}
+		return worst
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if workers > len(tasks) {
+			continue
+		}
+		lpt := scheduleLPT(est, workers)
+		rr := scheduleRoundRobin(tasks, workers)
+		checkSchedule(t, lpt, len(tasks), workers)
+		if maxLoad(lpt) > maxLoad(rr)+1e-12 {
+			t.Errorf("%d workers: LPT max load %.6f exceeds round-robin's %.6f",
+				workers, maxLoad(lpt), maxLoad(rr))
+		}
+	}
+}
+
+// TestSpatialScheduleIsHilbertContiguous checks the locality property of the
+// spatial strategy: every worker's task list is a concatenation of at most
+// spatialRegionsPerWorker runs, each contiguous in the global Hilbert order
+// of the task list.
+func TestSpatialScheduleIsHilbertContiguous(t *testing.T) {
+	r, s, _, _ := buildPair(t, 4000, 4000, storage.PageSize1K)
+	tasks := planTasks(r, s)
+	// The root level yields a handful of tasks; split one level deeper so
+	// the regions have something to tile, as the planner itself does.
+	var plan metrics.Local
+	tracker := buffer.NewTracker(nil, metrics.NewCollector(), r.PageSize(), false)
+	tasks, ok := splitTasks(r, s, tasks, tracker, &plan, &splitScratch{})
+	if !ok {
+		t.Fatal("expected the root tasks to be splittable")
+	}
+	workers := 4
+	if len(tasks) < workers*spatialRegionsPerWorker {
+		t.Fatalf("want at least %d tasks, got %d", workers*spatialRegionsPerWorker, len(tasks))
+	}
+	schedule := scheduleSpatial(r, s, tasks, workers)
+	checkSchedule(t, schedule, len(tasks), workers)
+
+	world := jointWorld(r, s)
+	keys := make([]uint64, len(tasks))
+	for i, task := range tasks {
+		rect := task.er.Rect
+		if inter, ok := task.er.Rect.Intersection(task.es.Rect); ok {
+			rect = inter
+		}
+		keys[i] = zorder.HilbertKey(rect.Center(), world)
+	}
+	// Reconstruct each task's rank in the Hilbert order the scheduler used.
+	order := make([]int32, len(tasks))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sortStableByKey := func() {
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && (keys[order[j]] < keys[order[j-1]] ||
+				(keys[order[j]] == keys[order[j-1]] && order[j] < order[j-1])); j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+	}
+	sortStableByKey()
+	rank := make([]int, len(tasks))
+	for r, i := range order {
+		rank[i] = r
+	}
+	for w, idxs := range schedule {
+		runs := 1
+		for k := 1; k < len(idxs); k++ {
+			if rank[idxs[k]] != rank[idxs[k-1]]+1 {
+				runs++
+			}
+		}
+		if runs > spatialRegionsPerWorker {
+			t.Errorf("worker %d: %d tasks form %d Hilbert runs, want at most %d",
+				w, len(idxs), runs, spatialRegionsPerWorker)
+		}
+	}
+}
+
+func TestPartitionStrategyString(t *testing.T) {
+	want := map[PartitionStrategy]string{
+		PartitionDynamic:      "dynamic",
+		PartitionRoundRobin:   "round-robin",
+		PartitionLPT:          "lpt",
+		PartitionSpatial:      "spatial",
+		PartitionStrategy(42): "PartitionStrategy(42)",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("String(%d) = %q, want %q", int(s), s.String(), str)
+		}
+	}
+}
+
+func TestSortPairs(t *testing.T) {
+	pairs := []Pair{{R: 2, S: 1}, {R: 1, S: 2}, {R: 1, S: 1}, {R: 2, S: 0}}
+	SortPairs(pairs)
+	want := []Pair{{R: 1, S: 1}, {R: 1, S: 2}, {R: 2, S: 0}, {R: 2, S: 1}}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("pairs[%d] = %v, want %v", i, pairs[i], want[i])
+		}
+	}
+}

@@ -132,12 +132,31 @@ func TreeJoin(r, s *RTree, opts JoinOptions) (*JoinResult, error) { return join.
 // ParallelJoinOptions configures ParallelTreeJoin.
 type ParallelJoinOptions = join.ParallelOptions
 
+// PartitionStrategy selects how ParallelTreeJoin assigns sub-join tasks to
+// workers.
+type PartitionStrategy = join.PartitionStrategy
+
+// Partition strategies: the dynamic shared queue plus the three
+// deterministic schedules (round-robin dealing, greedy LPT bin packing over
+// cost-model estimates, and Hilbert-ordered contiguous spatial regions).
+const (
+	DynamicPartition    = join.PartitionDynamic
+	RoundRobinPartition = join.PartitionRoundRobin
+	LPTPartition        = join.PartitionLPT
+	SpatialPartition    = join.PartitionSpatial
+)
+
 // ParallelTreeJoin computes the MBR-spatial-join with several workers, each
 // joining a partition of the qualifying root-entry pairs (the parallel
 // execution the paper lists as future work).
 func ParallelTreeJoin(r, s *RTree, opts ParallelJoinOptions) (*JoinResult, error) {
 	return join.ParallelJoin(r, s, opts)
 }
+
+// SortJoinPairs sorts result pairs by (R, S); parallel results are
+// schedule-ordered, so callers sort before comparing against a sequential
+// result.
+func SortJoinPairs(pairs []IDPair) { join.SortPairs(pairs) }
 
 // SortMergeJoin computes the MBR-spatial-join of two unindexed relations by
 // sorting and plane-sweeping them; it is the index-free alternative the paper
