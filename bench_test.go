@@ -529,10 +529,11 @@ func BenchmarkLargeJoinParallelStatic(b *testing.B) {
 	}
 }
 
-// BenchmarkLargeJoinPartition compares the three static partition strategies
-// on the large pair at 8 workers.  Besides wall clock it reports the
-// counted-cost quality of each schedule: the cost-model est-speedup, the
-// per-worker task and disk skew, the buffer-locality hit rate and the
+// BenchmarkLargeJoinPartition compares the partition strategies — the three
+// static schedules plus the work-stealing scheduler — on the large pair at 8
+// workers.  Besides wall clock it reports the counted-cost quality of each
+// schedule: the cost-model est-speedup, the per-worker task, comparison and
+// disk skew, the buffer-locality hit rate, the steal count and the
 // disk-access overhead over the sequential join (the price of the
 // partitioned buffer, which the spatial-region schedule is built to shrink).
 func BenchmarkLargeJoinPartition(b *testing.B) {
@@ -551,7 +552,7 @@ func BenchmarkLargeJoinPartition(b *testing.B) {
 	model := DefaultCostModel()
 	seqEst := model.EstimateSnapshot(seq.Metrics, r.PageSize())
 	seqDisk := float64(seq.Metrics.DiskAccesses())
-	for _, strategy := range []PartitionStrategy{RoundRobinPartition, LPTPartition, SpatialPartition} {
+	for _, strategy := range []PartitionStrategy{RoundRobinPartition, LPTPartition, SpatialPartition, StealingPartition} {
 		b.Run(fmt.Sprintf("strategy=%v/workers=8", strategy), func(b *testing.B) {
 			b.ReportAllocs()
 			var res *JoinResult
@@ -580,8 +581,15 @@ func BenchmarkLargeJoinPartition(b *testing.B) {
 				b.ReportMetric(float64(res.Metrics.DiskAccesses())/seqDisk, "disk-overhead")
 			}
 			b.ReportMetric(res.TaskSkew(), "task-skew")
+			b.ReportMetric(res.ComparisonSkew(), "comp-skew")
 			b.ReportMetric(res.DiskSkew(), "disk-skew")
+			b.ReportMetric(res.TimeSkew(model, r.PageSize()), "time-skew")
 			b.ReportMetric(res.WorkerBufferHitRate(), "hit-rate")
+			steals := 0
+			for _, n := range res.WorkerSteals {
+				steals += n
+			}
+			b.ReportMetric(float64(steals), "steals")
 		})
 	}
 }

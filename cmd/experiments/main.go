@@ -62,6 +62,8 @@ func run(args []string, out io.Writer) error {
 	switch {
 	case *parallel:
 		experiments.PrintTableParallel(out, suite.TableParallel())
+		fmt.Fprintln(out)
+		experiments.PrintTableEstimator(out, suite.TableEstimator())
 	case *table == 0 && *figure == 0:
 		suite.RunAll(out)
 	case *table != 0:

@@ -315,12 +315,12 @@ func TestSortedKeysHelper(t *testing.T) {
 func TestTableParallelShape(t *testing.T) {
 	s := tinySuite()
 	rows := s.TableParallel()
-	want := len(join.StaticPartitionStrategies) * len(ParallelWorkerCounts)
+	want := len(join.PartitionStrategies) * len(ParallelWorkerCounts)
 	if len(rows) != want {
 		t.Fatalf("TableParallel returned %d rows, want %d", len(rows), want)
 	}
 	i := 0
-	for _, strategy := range join.StaticPartitionStrategies {
+	for _, strategy := range join.PartitionStrategies {
 		for _, workers := range ParallelWorkerCounts {
 			row := rows[i]
 			i++
@@ -343,9 +343,36 @@ func TestTableParallelShape(t *testing.T) {
 	var buf bytes.Buffer
 	PrintTableParallel(&buf, rows)
 	out := buf.String()
-	for _, want := range []string{"round-robin", "lpt", "spatial", "est speedup"} {
+	for _, want := range []string{"round-robin", "lpt", "spatial", "stealing", "steals", "est speedup"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("PrintTableParallel output is missing %q", want)
+		}
+	}
+}
+
+func TestTableEstimatorShape(t *testing.T) {
+	s := tinySuite()
+	rows := s.TableEstimator()
+	if len(rows) != 4 {
+		t.Fatalf("TableEstimator returned %d rows, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if row.Workers <= 0 || row.Workers > EstimatorWorkers {
+			t.Errorf("%v sampled=%v: %d workers outside (0,%d]", row.Strategy, row.Sampled, row.Workers, EstimatorWorkers)
+		}
+		if row.MeanAbsErrPct < 0 || row.CompSkew < 1 || row.EstSpeedup <= 0 {
+			t.Errorf("%v sampled=%v: degenerate row %+v", row.Strategy, row.Sampled, row)
+		}
+		if rate := row.HitRate; rate != rate || rate < 0 || rate > 1 {
+			t.Errorf("%v sampled=%v: hit rate %v outside [0,1]", row.Strategy, row.Sampled, rate)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTableEstimator(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"catalog-avg", "sampled", "est err"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintTableEstimator output is missing %q", want)
 		}
 	}
 }

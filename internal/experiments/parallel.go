@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/costmodel"
 	"repro/internal/join"
@@ -46,6 +47,16 @@ type ParallelRow struct {
 	TaskSkew float64 // max/mean sub-join tasks per worker
 	CompSkew float64 // max/mean join comparisons per worker
 	DiskSkew float64 // max/mean disk accesses per worker
+	// TimeSkew is max/mean of the per-worker estimated execution times, the
+	// balance measure the parallel critical path depends on: a worker can
+	// trade I/O against CPU (the locality-driven schedules do), so neither
+	// component skew alone decides whether the workers finish together.
+	TimeSkew float64
+	// Steals is the number of successful steal operations and StolenTasks the
+	// number of tasks that changed owners (stealing strategy only; both 0 for
+	// the static schedules).
+	Steals      int
+	StolenTasks int
 	// EstSpeedup is the speedup in estimated execution time (the paper's
 	// section-5 cost model) of the parallel run over the sequential SJ4 with
 	// the same total buffer: sequential estimate divided by the parallel
@@ -55,16 +66,20 @@ type ParallelRow struct {
 	EstSpeedup float64
 }
 
-// TableParallel joins the main pair with ParallelJoin (SJ4) for each static
-// partition strategy and worker count, and reports per-worker load-balance
-// skew, buffer locality and the disk-access overhead over the sequential
-// join, using the per-worker snapshots the parallel executor publishes.
+// TableParallel joins the main pair with ParallelJoin (SJ4) for each
+// partition strategy (the three static schedules plus the work-stealing
+// scheduler) and worker count, and reports per-worker load-balance skew,
+// buffer locality, steal counts and the disk-access overhead over the
+// sequential join, using the per-worker snapshots the parallel executor
+// publishes.  The static rows are deterministic machine properties of the
+// plan; the stealing rows depend on runtime scheduling and show how the
+// rebalancing trades a little locality for balance.
 func (s *Suite) TableParallel() []ParallelRow {
 	r, t := s.mainPair(ParallelPageSize)
 	seq := s.runJoin(r, t, join.SJ4, ParallelBufferKB, nil)
 	seqEst := s.model.EstimateSnapshot(seq.Metrics, ParallelPageSize)
 	var rows []ParallelRow
-	for _, strategy := range join.StaticPartitionStrategies {
+	for _, strategy := range join.PartitionStrategies {
 		for _, w := range ParallelWorkerCounts {
 			res, err := join.ParallelJoin(r, t, join.ParallelOptions{
 				Options: join.Options{
@@ -92,6 +107,11 @@ func (s *Suite) TableParallel() []ParallelRow {
 				TaskSkew:     res.TaskSkew(),
 				CompSkew:     res.ComparisonSkew(),
 				DiskSkew:     res.DiskSkew(),
+				TimeSkew:     res.TimeSkew(s.model, ParallelPageSize),
+				StolenTasks:  res.StolenTasks,
+			}
+			for _, n := range res.WorkerSteals {
+				row.Steals += n
 			}
 			for _, n := range res.WorkerTasks {
 				row.Tasks += n
@@ -130,20 +150,128 @@ func ParallelEstimate(model costmodel.Model, res *join.Result, pageSize int) cos
 // partition strategy.
 func PrintTableParallel(w io.Writer, rows []ParallelRow) {
 	writeHeader(w, "Parallel join (SJ4, 4 KByte pages, 128 KB buffer): partition strategies")
-	fmt.Fprintf(w, "%-12s %-8s %6s %8s %12s %9s %8s %10s %10s %10s %11s\n",
+	fmt.Fprintf(w, "%-12s %-8s %6s %8s %12s %9s %8s %10s %10s %10s %10s %7s %11s\n",
 		"strategy", "workers", "tasks", "pairs", "disk acc", "overhead", "hit rate",
-		"task skew", "comp skew", "disk skew", "est speedup")
+		"task skew", "comp skew", "disk skew", "time skew", "steals", "est speedup")
 	last := join.PartitionStrategy(-1)
 	for _, row := range rows {
 		if row.Strategy != last && last != join.PartitionStrategy(-1) {
 			fmt.Fprintln(w)
 		}
 		last = row.Strategy
-		fmt.Fprintf(w, "%-12s %-8d %6d %8d %12d %9.2f %8.2f %10.2f %10.2f %10.2f %11.2f\n",
+		fmt.Fprintf(w, "%-12s %-8d %6d %8d %12d %9.2f %8.2f %10.2f %10.2f %10.2f %10.2f %7d %11.2f\n",
 			row.Strategy, row.Workers, row.Tasks, row.Pairs, row.DiskAccesses,
-			row.DiskOverhead, row.HitRate, row.TaskSkew, row.CompSkew, row.DiskSkew, row.EstSpeedup)
+			row.DiskOverhead, row.HitRate, row.TaskSkew, row.CompSkew, row.DiskSkew,
+			row.TimeSkew, row.Steals, row.EstSpeedup)
 	}
-	fmt.Fprintln(w, "(skew = max/mean over the workers, 1.00 is perfectly balanced; overhead = disk"+
-		"\n accesses over the sequential join's; est speedup = estimated sequential time"+
-		"\n over the parallel critical path, section-5 cost model)")
+	fmt.Fprintln(w, "(skew = max/mean over the workers, 1.00 is perfectly balanced; time skew ="+
+		"\n skew of per-worker estimated execution times, the critical-path balance;"+
+		"\n overhead = disk accesses over the sequential join's; steals = successful"+
+		"\n steal operations of the work-stealing scheduler; est speedup = estimated"+
+		"\n sequential time over the parallel critical path, section-5 cost model)")
+}
+
+// ---------------------------------------------------------------------------
+// Task-estimator fidelity: catalog averages vs sampled statistics.
+// ---------------------------------------------------------------------------
+
+// EstimatorWorkers is the worker count of the estimator-fidelity experiment.
+const EstimatorWorkers = 8
+
+// EstimatorRow compares the planner's predicted per-worker loads against the
+// measured ones for one strategy and one estimator, quantifying how much the
+// sampled catalog statistics tighten the schedule cuts over the
+// catalog-average subtree model.
+type EstimatorRow struct {
+	Strategy join.PartitionStrategy
+	// Sampled is true for the reservoir-sampled statistics, false for the
+	// catalog-average ablation.
+	Sampled bool
+	Workers int
+	// MeanAbsErrPct is the mean over the workers of
+	// |predicted - actual| / actual (in percent), where predicted is the
+	// cost-model estimate of the worker's schedule and actual the cost-model
+	// time of its measured counters.  It measures estimator fidelity at the
+	// granularity the partitioner actually cuts at.
+	MeanAbsErrPct float64
+	// CompSkew, TimeSkew and EstSpeedup show what the fidelity buys: a
+	// tighter estimator packs the static schedules more evenly.
+	CompSkew   float64
+	TimeSkew   float64
+	HitRate    float64
+	EstSpeedup float64
+}
+
+// TableEstimator runs the estimate-driven static strategies at
+// EstimatorWorkers workers with both estimators and reports the est-vs-actual
+// error alongside the resulting balance.  (The stealing strategy is excluded:
+// its executed split is rebalanced at run time, so predicted initial loads
+// and measured loads diverge by design.)
+func (s *Suite) TableEstimator() []EstimatorRow {
+	r, t := s.mainPair(ParallelPageSize)
+	seq := s.runJoin(r, t, join.SJ4, ParallelBufferKB, nil)
+	seqEst := s.model.EstimateSnapshot(seq.Metrics, ParallelPageSize)
+	var rows []EstimatorRow
+	for _, sampled := range []bool{false, true} {
+		for _, strategy := range []join.PartitionStrategy{join.PartitionLPT, join.PartitionSpatial} {
+			res, err := join.ParallelJoin(r, t, join.ParallelOptions{
+				Options: join.Options{
+					Method:        join.SJ4,
+					BufferBytes:   ParallelBufferKB << 10,
+					UsePathBuffer: s.cfg.UsePathBuffer,
+					DiscardPairs:  true,
+				},
+				Workers:             EstimatorWorkers,
+				Strategy:            strategy,
+				DisableSampledStats: !sampled,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: estimator table %v sampled=%v: %v", strategy, sampled, err))
+			}
+			row := EstimatorRow{
+				Strategy: strategy,
+				Sampled:  sampled,
+				Workers:  len(res.WorkerMetrics),
+				CompSkew: res.ComparisonSkew(),
+				TimeSkew: res.TimeSkew(s.model, ParallelPageSize),
+				HitRate:  res.WorkerBufferHitRate(),
+			}
+			var errSum float64
+			var counted int
+			for w, predicted := range res.WorkerEstSeconds {
+				actual := s.model.EstimateSnapshot(res.WorkerMetrics[w], ParallelPageSize).TotalSeconds()
+				if actual <= 0 {
+					continue
+				}
+				errSum += 100 * math.Abs(predicted-actual) / actual
+				counted++
+			}
+			if counted > 0 {
+				row.MeanAbsErrPct = errSum / float64(counted)
+			}
+			if par := ParallelEstimate(s.model, res, ParallelPageSize); par.TotalSeconds() > 0 {
+				row.EstSpeedup = seqEst.TotalSeconds() / par.TotalSeconds()
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// PrintTableEstimator writes the estimator-fidelity rows.
+func PrintTableEstimator(w io.Writer, rows []EstimatorRow) {
+	writeHeader(w, "Task estimator: catalog averages vs sampled statistics (SJ4, 8 workers)")
+	fmt.Fprintf(w, "%-12s %-16s %12s %10s %10s %9s %11s\n",
+		"strategy", "estimator", "est err %", "comp skew", "time skew", "hit rate", "est speedup")
+	for _, row := range rows {
+		estimator := "catalog-avg"
+		if row.Sampled {
+			estimator = "sampled"
+		}
+		fmt.Fprintf(w, "%-12s %-16s %12.1f %10.2f %10.2f %9.2f %11.2f\n",
+			row.Strategy, estimator, row.MeanAbsErrPct, row.CompSkew, row.TimeSkew, row.HitRate, row.EstSpeedup)
+	}
+	fmt.Fprintln(w, "(est err = mean over workers of |predicted - measured| / measured, cost-model"+
+		"\n seconds; the sampled statistics replace the fan-out^level catalog-average model"+
+		"\n with per-level populations and leaf extents collected by reservoir sampling)")
 }

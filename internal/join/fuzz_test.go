@@ -1,0 +1,107 @@
+package join
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Native Go fuzz targets for the pure scheduling kernels.  CI runs each as a
+// short fuzzing smoke (-fuzztime per target) on top of the seed corpora
+// below; locally, `go test -fuzz FuzzContiguousSplit ./internal/join` digs
+// deeper.
+
+// fuzzPairs decodes a byte string into join pairs, 8 bytes per pair.
+func fuzzPairs(data []byte) []Pair {
+	pairs := make([]Pair, 0, len(data)/8)
+	for len(data) >= 8 {
+		pairs = append(pairs, Pair{
+			R: int32(binary.LittleEndian.Uint32(data[:4])),
+			S: int32(binary.LittleEndian.Uint32(data[4:8])),
+		})
+		data = data[8:]
+	}
+	return pairs
+}
+
+// FuzzSortPairs checks that SortPairs is a permutation (the multiset of
+// pairs is preserved) and actually sorts by (R, S) for arbitrary inputs,
+// including duplicates and negative identifiers.
+func FuzzSortPairs(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0})
+	f.Add([]byte{
+		2, 0, 0, 0, 1, 0, 0, 0,
+		1, 0, 0, 0, 2, 0, 0, 0,
+		1, 0, 0, 0, 1, 0, 0, 0,
+		255, 255, 255, 255, 0, 0, 0, 0, // negative R
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pairs := fuzzPairs(data)
+		want := make(map[Pair]int, len(pairs))
+		for _, p := range pairs {
+			want[p]++
+		}
+		SortPairs(pairs)
+		for i := 1; i < len(pairs); i++ {
+			a, b := pairs[i-1], pairs[i]
+			if a.R > b.R || (a.R == b.R && a.S > b.S) {
+				t.Fatalf("pairs[%d]=%v > pairs[%d]=%v", i-1, a, i, b)
+			}
+		}
+		for _, p := range pairs {
+			want[p]--
+			if want[p] < 0 {
+				t.Fatalf("pair %v appears more often after sorting", p)
+			}
+		}
+		for p, n := range want {
+			if n != 0 {
+				t.Fatalf("pair %v lost by sorting (%d missing)", p, n)
+			}
+		}
+	})
+}
+
+// FuzzContiguousSplit checks the spatial cut on arbitrary estimate vectors
+// (one byte per task, so zeros and heavy skews both occur) and bin counts:
+// the result must always be a partition of the input order into exactly
+// bins non-empty contiguous runs, in order — every task scheduled exactly
+// once, no duplicates, prefix structure intact.
+func FuzzContiguousSplit(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, uint8(2))
+	f.Add([]byte{0, 0, 0, 0}, uint8(4))
+	f.Add([]byte{255, 0, 0, 0, 0, 0, 0, 255}, uint8(3))
+	f.Add([]byte{1}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, binSeed uint8) {
+		n := len(data)
+		if n == 0 {
+			return
+		}
+		est := make([]float64, n)
+		order := make([]int32, n)
+		for i, v := range data {
+			est[i] = float64(v)
+			order[i] = int32(i)
+		}
+		bins := 1 + int(binSeed)%n
+		split := contiguousSplit(order, est, bins)
+		if len(split) != bins {
+			t.Fatalf("got %d bins, want %d", len(split), bins)
+		}
+		pos := 0
+		for b, run := range split {
+			if len(run) == 0 {
+				t.Fatalf("bin %d is empty (n=%d bins=%d)", b, n, bins)
+			}
+			for _, i := range run {
+				if pos >= n || order[pos] != i {
+					t.Fatalf("bin %d breaks the order at position %d", b, pos)
+				}
+				pos++
+			}
+		}
+		if pos != n {
+			t.Fatalf("split covers %d of %d tasks", pos, n)
+		}
+	})
+}

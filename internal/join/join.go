@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/costmodel"
 	"repro/internal/metrics"
 	"repro/internal/rtree"
 )
@@ -163,6 +164,19 @@ type Result struct {
 	// Strategy records the partition strategy of a ParallelJoin (zero for
 	// sequential joins and sequential fallbacks).
 	Strategy PartitionStrategy
+	// WorkerSteals[i] is the number of successful steal operations worker i
+	// performed as a thief (PartitionStealing only; nil otherwise).
+	WorkerSteals []int
+	// StolenTasks is the total number of tasks that changed owners through
+	// stealing (PartitionStealing only).
+	StolenTasks int
+	// WorkerEstSeconds[i] is the cost-model estimate of worker i's initial
+	// schedule (the sum of its tasks' estimates), published by the
+	// estimate-driven strategies (LPT, spatial, stealing; nil otherwise).
+	// Comparing it against the measured per-worker costs gives the
+	// estimator's error; for PartitionStealing it describes the initial
+	// queues, before any run-time rebalancing.
+	WorkerEstSeconds []float64
 	// PlanMetrics is the planning-only slice of Metrics for a ParallelJoin:
 	// the root and split reads plus the qualifying-pair comparisons charged
 	// before any worker ran.  Metrics minus PlanMetrics is the sum of
@@ -226,10 +240,35 @@ func (r *Result) PairSkew() float64 {
 	return r.workerSkew(func(m metrics.Snapshot) int64 { return m.PairsReported })
 }
 
+// TimeSkew returns max/mean of the per-worker estimated execution times
+// under the given cost model — the load-balance measure the parallel
+// critical path actually depends on.  Comparison and disk skew each watch
+// one cost component; a worker can trade I/O against CPU (locality-driven
+// schedules do), so only the combined time says whether the workers finish
+// together.  It returns 0 for sequential results or a zero-cost run.
+func (r *Result) TimeSkew(model costmodel.Model, pageSize int) float64 {
+	if len(r.WorkerMetrics) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, m := range r.WorkerMetrics {
+		v := model.EstimateSnapshot(m, pageSize).TotalSeconds()
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max * float64(len(r.WorkerMetrics)) / sum
+}
+
 // WorkerBufferHitRate returns the share of worker node accesses satisfied
 // from a buffer (LRU or path), the locality measure of the partitioning: a
 // schedule whose tasks share subtrees hits its per-worker buffer partition
-// more often.  It returns 0 when no worker metrics are present.
+// more often.  It returns a NaN-free 0 when no worker metrics are present
+// or no worker performed any node access.
 func (r *Result) WorkerBufferHitRate() float64 {
 	var hits, reads int64
 	for _, m := range r.WorkerMetrics {
@@ -241,6 +280,24 @@ func (r *Result) WorkerBufferHitRate() float64 {
 		return 0
 	}
 	return float64(hits) / float64(total)
+}
+
+// WorkerBufferHitRates returns one buffer hit rate per worker, aligned with
+// WorkerMetrics.  A worker that performed no node accesses — its region was
+// empty, held only non-intersecting pairs, or was stolen before it ran —
+// reports a NaN-free 0 instead of 0/0.
+func (r *Result) WorkerBufferHitRates() []float64 {
+	if len(r.WorkerMetrics) == 0 {
+		return nil
+	}
+	rates := make([]float64, len(r.WorkerMetrics))
+	for i, m := range r.WorkerMetrics {
+		hits := m.BufferHits + m.PathHits
+		if total := hits + m.DiskReads; total > 0 {
+			rates[i] = float64(hits) / float64(total)
+		}
+	}
+	return rates
 }
 
 // Errors returned by Join.

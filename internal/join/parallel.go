@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/buffer"
+	"repro/internal/costmodel"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/rtree"
@@ -41,8 +42,18 @@ type ParallelOptions struct {
 	// the static strategies balance load and, for PartitionSpatial, give
 	// each worker enough neighbouring tasks to share subtrees.  0 or 1
 	// keeps the default: split only while there are fewer tasks than
-	// workers.
+	// workers.  The split rounds themselves run on the worker goroutines
+	// (restriction and plane-sweep in parallel, I/O charged deterministically
+	// afterwards), so fine granularities no longer make planning the
+	// critical-path floor.
 	MinTasksPerWorker int
+	// DisableSampledStats makes the task estimator fall back to the
+	// catalog-average subtree model even when the trees carry sampled
+	// catalog statistics (rtree.Tree.CatalogStats).  By default the
+	// estimate-driven strategies (LPT, spatial, stealing) use the sampled
+	// per-level node counts and leaf extents, which track the tree as built;
+	// the flag exists for the estimator ablation in the experiments.
+	DisableSampledStats bool
 }
 
 // parallelTask is one independent sub-join: the pair of subtrees referenced
@@ -159,7 +170,7 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 		return nil, ErrParallelNestedLoop
 	}
 	switch popts.Strategy {
-	case PartitionDynamic, PartitionRoundRobin, PartitionLPT, PartitionSpatial:
+	case PartitionDynamic, PartitionRoundRobin, PartitionLPT, PartitionSpatial, PartitionStealing:
 	default:
 		return nil, fmt.Errorf("join: %w: %v", ErrUnknownPartitionStrategy, popts.Strategy)
 	}
@@ -219,9 +230,9 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	if popts.MinTasksPerWorker > 1 {
 		minTasks = workers * popts.MinTasksPerWorker
 	}
-	var scratch splitScratch
+	var scratches []*splitScratch
 	for len(tasks) > 0 && len(tasks) < minTasks {
-		split, ok := splitTasks(r, s, tasks, planTracker, &plan, &scratch)
+		split, ok := splitTasksParallel(r, s, tasks, planTracker, &plan, workers, &scratches)
 		if !ok {
 			break
 		}
@@ -249,7 +260,38 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
-	schedule := buildSchedule(popts.Strategy, r, s, tasks, workers)
+	// The estimate-driven strategies need per-task cost estimates; the
+	// estimator reads only the trees' catalog statistics (sampled, or
+	// catalog averages as a fallback), never the unvisited child pages, so
+	// estimation charges no I/O.
+	var est []float64
+	switch popts.Strategy {
+	case PartitionLPT, PartitionSpatial, PartitionStealing:
+		est = newTaskEstimator(r, s, !popts.DisableSampledStats).estimates(tasks)
+	}
+	schedule := buildSchedule(popts.Strategy, r, s, tasks, est, workers)
+	if schedule != nil && est != nil {
+		// Publish the predicted per-worker loads of the initial schedule so
+		// the experiments can report estimator error against the measured
+		// per-worker costs.
+		res.WorkerEstSeconds = make([]float64, workers)
+		for w, idxs := range schedule {
+			for _, i := range idxs {
+				res.WorkerEstSeconds[w] += est[i]
+			}
+		}
+	}
+	var queues []*stealQueue
+	var pacer *stealPacer
+	var stealsInFlight atomic.Int32
+	if popts.Strategy == PartitionStealing {
+		// The spatial schedule becomes the workers' initial region queues;
+		// from here on ownership of task runs moves between queues at run
+		// time, so the static schedule slices must no longer be read.
+		queues = newStealQueues(schedule, est)
+		pacer = newStealPacer(workers, est)
+		schedule = nil
+	}
 	perWorkerBuffer := opts.BufferBytes / workers
 	if opts.BufferBytes > 0 && perWorkerBuffer < r.PageSize() {
 		// A configured buffer smaller than one page per worker would silently
@@ -310,11 +352,47 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 					e.sweepJoin(t.er.Child, t.es.Child, rect, opts.Method, 0)
 				}
 			}
-			if schedule != nil {
+			switch {
+			case queues != nil:
+				// Stealing: consume the owned region queue front to back,
+				// then refill by stealing the tail half of the most-loaded
+				// victim.  Progress is paced in counted-cost virtual time
+				// (see stealing.go): each task advances this worker's clock
+				// by the cost-model seconds of its actual counted work, and
+				// the worker yields while more than a bounded window ahead
+				// of the slowest active worker, so queues drain at
+				// cost-proportional rates on any host.
+				q := queues[w]
+				stealModel := costmodel.Default()
+				pageSize := r.PageSize()
+				var stealBuf []int32
+				for {
+					i, ok := q.pop(est)
+					if !ok {
+						if !steal(queues, w, &stealBuf, est, &stealsInFlight) {
+							break
+						}
+						continue
+					}
+					pacer.wait(w)
+					c0 := worker.col.Snapshot()
+					l0c, l0s := e.local.Comparisons, e.local.SortComparisons
+					runTask(tasks[i])
+					// The per-node-pair flushes move local counts into the
+					// collector, so the collector delta plus the (possibly
+					// negative) local delta is the task's true cost.
+					c1 := worker.col.Snapshot()
+					disk := c1.DiskAccesses() - c0.DiskAccesses()
+					comps := c1.TotalComparisons() - c0.TotalComparisons() +
+						(e.local.Comparisons - l0c) + (e.local.SortComparisons - l0s)
+					pacer.advance(w, stealModel.Estimate(disk, pageSize, comps).TotalSeconds())
+				}
+				pacer.finish(w)
+			case schedule != nil:
 				for _, i := range schedule[w] {
 					runTask(tasks[i])
 				}
-			} else {
+			default:
 				for {
 					i := next.Add(1) - 1
 					if i >= int64(len(tasks)) {
@@ -331,6 +409,13 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	}
 	wg.Wait()
 
+	if queues != nil {
+		res.WorkerSteals = make([]int, workers)
+		for w, q := range queues {
+			res.WorkerSteals[w] = q.steals
+			res.StolenTasks += q.stolenTasks
+		}
+	}
 	res.WorkerMetrics = make([]metrics.Snapshot, workers)
 	res.WorkerTasks = make([]int, workers)
 	for w := 0; w < workers; w++ {
@@ -399,10 +484,11 @@ func (sc *splitScratch) restrict(n *rtree.Node, inter geom.Rect, ents []rtree.En
 	return ents, rects
 }
 
-// splitTasks replaces every task whose two subtrees are directory nodes by
-// the qualifying pairs of their children, reading the two nodes through the
-// planning tracker.  It reports false when nothing could be split (all tasks
-// reference leaf nodes), in which case the task list is returned unchanged.
+// expandTasks is the CPU half of one split round over a contiguous chunk of
+// the task list: every task whose two subtrees are directory nodes is
+// replaced by the qualifying pairs of their children, charging the
+// restriction, sorting and sweep comparisons to plan but performing no I/O
+// accounting.  It appends to out and reports whether anything was split.
 //
 // The qualifying child pairs are found the way the CPU-tuned sequential
 // algorithms find them — restrict both entry sets to the parents'
@@ -414,9 +500,11 @@ func (sc *splitScratch) restrict(n *rtree.Node, inter geom.Rect, ents []rtree.En
 // Splitting preserves the result set: a child pair whose rectangles do not
 // intersect cannot contribute any result, and the search-space restriction
 // never removes entries that take part in an intersecting pair.
-func splitTasks(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker, plan *metrics.Local, sc *splitScratch) ([]parallelTask, bool) {
+func expandTasks(tasks []parallelTask, sc *splitScratch, plan *metrics.Local, out []parallelTask) ([]parallelTask, bool) {
 	split := false
-	out := make([]parallelTask, 0, 2*len(tasks))
+	if out == nil {
+		out = make([]parallelTask, 0, 2*len(tasks))
+	}
 	for _, t := range tasks {
 		if t.er.Child.IsLeaf() || t.es.Child.IsLeaf() {
 			out = append(out, t)
@@ -427,8 +515,6 @@ func splitTasks(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker,
 			continue // qualifying tasks always intersect; degenerate guard
 		}
 		split = true
-		r.AccessNode(tracker, t.er.Child)
-		s.AccessNode(tracker, t.es.Child)
 		sc.rEnts, sc.rRects = sc.restrict(t.er.Child, inter, sc.rEnts, sc.rRects, plan)
 		sc.sEnts, sc.sRects = sc.restrict(t.es.Child, inter, sc.sEnts, sc.sRects, plan)
 		sc.pairs = sweep.AppendPairs(sc.rRects, sc.sRects, plan, sc.pairs[:0])
@@ -436,8 +522,92 @@ func splitTasks(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker,
 			out = append(out, parallelTask{er: sc.rEnts[p.R], es: sc.sEnts[p.S]})
 		}
 	}
+	return out, split
+}
+
+// chargeSplitReads is the I/O half of one split round: it charges the node
+// reads of every expanded task to the plan tracker serially, in task order —
+// exactly the access sequence the sequential split performed — so the
+// planning I/O accounting is bit-identical no matter how many goroutines ran
+// the CPU half.
+func chargeSplitReads(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker) {
+	for _, t := range tasks {
+		if t.er.Child.IsLeaf() || t.es.Child.IsLeaf() {
+			continue
+		}
+		if !t.er.Rect.Intersects(t.es.Rect) {
+			continue
+		}
+		r.AccessNode(tracker, t.er.Child)
+		s.AccessNode(tracker, t.es.Child)
+	}
+}
+
+// splitTasks runs one split round on a single goroutine.  It reports false
+// when nothing could be split (all tasks reference leaf nodes), in which
+// case the task list is returned unchanged.
+func splitTasks(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker, plan *metrics.Local, sc *splitScratch) ([]parallelTask, bool) {
+	out, split := expandTasks(tasks, sc, plan, nil)
 	if !split {
 		return tasks, false
+	}
+	chargeSplitReads(r, s, tasks, tracker)
+	return out, true
+}
+
+// planChunkMinTasks is the smallest chunk worth a planning goroutine; finer
+// chunks would spend more on spawning than on the restriction sweeps.
+const planChunkMinTasks = 16
+
+// splitTasksParallel runs one split round with the restriction and
+// plane-sweep work fanned out over up to workers goroutines, each with its
+// own scratch and local counters (grown in scratches and reused across
+// rounds).  The deterministic parts of the plan are preserved exactly: the
+// output task order equals the sequential round's (chunks are contiguous and
+// concatenated in order), the comparison counters are order-independent
+// sums, and the I/O is charged serially in task order afterwards, so plan
+// metrics are bit-identical to the single-goroutine round
+// (TestParallelPlanningMatchesSequential pins this).  This closes the
+// planning critical-path floor: at fine MinTasksPerWorker granularities the
+// split rounds dominated planning and ran on one goroutine only.
+func splitTasksParallel(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker, plan *metrics.Local, workers int, scratches *[]*splitScratch) ([]parallelTask, bool) {
+	chunks := workers
+	if max := len(tasks) / planChunkMinTasks; chunks > max {
+		chunks = max
+	}
+	for len(*scratches) < chunks || len(*scratches) == 0 {
+		*scratches = append(*scratches, &splitScratch{})
+	}
+	if chunks <= 1 {
+		return splitTasks(r, s, tasks, tracker, plan, (*scratches)[0])
+	}
+	outs := make([][]parallelTask, chunks)
+	locals := make([]metrics.Local, chunks)
+	splits := make([]bool, chunks)
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*len(tasks)/chunks, (c+1)*len(tasks)/chunks
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			outs[c], splits[c] = expandTasks(tasks[lo:hi], (*scratches)[c], &locals[c], nil)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	split := false
+	for c := range locals {
+		split = split || splits[c]
+		plan.Comparisons += locals[c].Comparisons
+		plan.SortComparisons += locals[c].SortComparisons
+		plan.NodeSorts += locals[c].NodeSorts
+	}
+	if !split {
+		return tasks, false
+	}
+	chargeSplitReads(r, s, tasks, tracker)
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out = append(out, o...)
 	}
 	return out, true
 }

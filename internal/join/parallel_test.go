@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/metrics"
 	"repro/internal/rtree"
 	"repro/internal/storage"
 )
@@ -123,7 +124,9 @@ func TestParallelWorkers1MatchesSequentialDiskAccesses(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, strategy := range StaticPartitionStrategies {
+			// With one worker the stealing strategy has no victims, so it
+			// degenerates to the spatial schedule and the same bounds apply.
+			for _, strategy := range PartitionStrategies {
 				par, err := ParallelJoin(r, s, ParallelOptions{Options: opts, Workers: 1, Strategy: strategy})
 				if err != nil {
 					t.Fatal(err)
@@ -179,6 +182,101 @@ func TestParallelPlanningChargesNodesOnce(t *testing.T) {
 	}
 	if got := res.Metrics.Sub(res.PlanMetrics).DiskReads; got <= 0 {
 		t.Errorf("worker disk reads = %d, want > 0", got)
+	}
+}
+
+// TestParallelPlanningMatchesSequential pins the parallelised split rounds:
+// fanning the restriction+plane-sweep work over worker goroutines must not
+// change the plan by a single counter.  Both runs below reach the same
+// minimum task count (workers * MinTasksPerWorker = 64), so they perform the
+// same split rounds — one on a single goroutine, one fanned out — and their
+// planning metrics must be bit-identical (comparisons are order-independent
+// sums and the I/O is charged serially in task order).
+func TestParallelPlanningMatchesSequential(t *testing.T) {
+	r, s, _, _ := buildPair(t, 4000, 4000, storage.PageSize1K)
+	opts := Options{Method: SJ4, BufferBytes: 128 << 10, UsePathBuffer: true, DiscardPairs: true}
+	one, err := ParallelJoin(r, s, ParallelOptions{
+		Options: opts, Workers: 1, Strategy: PartitionSpatial, MinTasksPerWorker: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := ParallelJoin(r, s, ParallelOptions{
+		Options: opts, Workers: 8, Strategy: PartitionSpatial, MinTasksPerWorker: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.PlanMetrics != many.PlanMetrics {
+		t.Errorf("plan metrics differ between 1 and 8 planning goroutines:\n1: %+v\n8: %+v",
+			one.PlanMetrics, many.PlanMetrics)
+	}
+	oneTasks, manyTasks := 0, 0
+	for _, n := range one.WorkerTasks {
+		oneTasks += n
+	}
+	for _, n := range many.WorkerTasks {
+		manyTasks += n
+	}
+	if oneTasks != manyTasks {
+		t.Errorf("task lists differ: %d vs %d tasks", oneTasks, manyTasks)
+	}
+}
+
+// TestWorkerBufferHitRatesNaNFree pins the divide-by-zero fix: a worker with
+// no node accesses (an empty region — all its tasks stolen, or only
+// non-intersecting pairs) must report hit rate 0, not NaN, both per worker
+// and in the aggregate.
+func TestWorkerBufferHitRatesNaNFree(t *testing.T) {
+	res := &Result{WorkerMetrics: make([]metrics.Snapshot, 3)}
+	res.WorkerMetrics[1] = metrics.Snapshot{BufferHits: 3, DiskReads: 1}
+	if got := res.WorkerBufferHitRate(); got != 0.75 {
+		t.Errorf("aggregate hit rate = %v, want 0.75", got)
+	}
+	rates := res.WorkerBufferHitRates()
+	if len(rates) != 3 {
+		t.Fatalf("got %d rates, want 3", len(rates))
+	}
+	for i, rate := range rates {
+		if rate != rate { // NaN check
+			t.Errorf("worker %d: hit rate is NaN", i)
+		}
+	}
+	if rates[0] != 0 || rates[2] != 0 {
+		t.Errorf("idle workers must report 0, got %v", rates)
+	}
+	if rates[1] != 0.75 {
+		t.Errorf("worker 1 hit rate = %v, want 0.75", rates[1])
+	}
+
+	// All-idle aggregate: still 0, never 0/0.
+	empty := &Result{WorkerMetrics: make([]metrics.Snapshot, 2)}
+	if got := empty.WorkerBufferHitRate(); got != 0 {
+		t.Errorf("all-idle aggregate = %v, want 0", got)
+	}
+	if got := empty.WorkerBufferHitRates(); got[0] != 0 || got[1] != 0 {
+		t.Errorf("all-idle per-worker rates = %v, want zeros", got)
+	}
+	if (&Result{}).WorkerBufferHitRates() != nil {
+		t.Error("sequential result must report nil per-worker rates")
+	}
+
+	// End to end: a real stealing run must produce finite rates for every
+	// worker even when steals leave some queue empty.
+	r, s, _, _ := buildPair(t, 1500, 1500, storage.PageSize1K)
+	res2, err := ParallelJoin(r, s, ParallelOptions{
+		Options:           Options{Method: SJ4, BufferBytes: 32 << 10, DiscardPairs: true},
+		Workers:           8,
+		Strategy:          PartitionStealing,
+		MinTasksPerWorker: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, rate := range res2.WorkerBufferHitRates() {
+		if rate != rate || rate < 0 || rate > 1 {
+			t.Errorf("worker %d: hit rate %v outside [0,1]", w, rate)
+		}
 	}
 }
 

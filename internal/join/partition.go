@@ -2,6 +2,7 @@ package join
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/costmodel"
@@ -42,6 +43,16 @@ const (
 	// gets reuse — the shared-nothing region assignment the paper's
 	// future-work section points at.
 	PartitionSpatial
+	// PartitionStealing starts from the spatial schedule — each worker owns
+	// one Hilbert-contiguous region queue — and lets a worker whose queue
+	// drains steal half of the *tail* of the most-loaded victim's queue.
+	// Tail-stealing keeps the victim's Hilbert prefix intact, so locality
+	// degrades gracefully under estimation error instead of collapsing to the
+	// shared dynamic queue, while the stealing supplies the wall-clock load
+	// balance no static cut can guarantee.  The result set is identical to
+	// the sequential join; the per-worker split (and therefore the worker
+	// snapshots) depends on runtime scheduling, unlike the static strategies.
+	PartitionStealing
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +66,8 @@ func (s PartitionStrategy) String() string {
 		return "lpt"
 	case PartitionSpatial:
 		return "spatial"
+	case PartitionStealing:
+		return "stealing"
 	default:
 		return fmt.Sprintf("PartitionStrategy(%d)", int(s))
 	}
@@ -63,6 +76,11 @@ func (s PartitionStrategy) String() string {
 // StaticPartitionStrategies lists the deterministic strategies in the order
 // the experiments sweep them.
 var StaticPartitionStrategies = []PartitionStrategy{PartitionRoundRobin, PartitionLPT, PartitionSpatial}
+
+// PartitionStrategies lists every strategy with a per-worker schedule (the
+// static schedules plus the stealing scheduler); the experiments sweep them
+// in this order.
+var PartitionStrategies = []PartitionStrategy{PartitionRoundRobin, PartitionLPT, PartitionSpatial, PartitionStealing}
 
 // subtreeModel estimates the size of a subtree from catalog statistics (the
 // tree's page and entry counts), the kind of metadata a query planner has
@@ -105,25 +123,68 @@ func (m subtreeModel) entries(level int) float64 {
 	return width
 }
 
+// sideModel estimates one tree's side of a task: from sampled catalog
+// statistics when the tree carries them (the default), falling back to the
+// catalog-average subtreeModel otherwise.  The sampled per-level node counts
+// replace the fan-out^level geometric model with the tree as actually built,
+// and the sampled leaf extents feed a plane-sweep selectivity estimate
+// instead of the all-pairs product.
+type sideModel struct {
+	avg     subtreeModel
+	cat     costmodel.Catalog
+	sampled bool
+}
+
+func newSideModel(t *rtree.Tree, useSampled bool) sideModel {
+	m := sideModel{avg: newSubtreeModel(t)}
+	if useSampled {
+		if cat := t.CatalogStats(); cat.Valid() {
+			m.cat, m.sampled = cat, true
+		}
+	}
+	return m
+}
+
+func (m sideModel) pages(level int) float64 {
+	if m.sampled {
+		return m.cat.SubtreePages(level)
+	}
+	return m.avg.pages(level)
+}
+
+func (m sideModel) entries(level int) float64 {
+	if m.sampled {
+		return m.cat.SubtreeEntries(level)
+	}
+	return m.avg.entries(level)
+}
+
 // taskEstimator converts one planned task into an estimated execution time
 // under the paper's cost model.  The expected I/O is the share of each
-// subtree's pages overlapping the task's intersection rectangle; the
-// expected CPU is the product of the expected data entries on either side.
+// subtree's pages overlapping the task's intersection rectangle.  The
+// expected CPU is, with sampled statistics on both sides, a plane-sweep
+// selectivity estimate (sort cost plus the expected x-overlapping pairs,
+// derived from the sampled mean data-rectangle extents); without samples it
+// falls back to the product of the expected data entries on either side.
 // The estimates only rank tasks for scheduling, so fidelity matters less
-// than determinism: identical inputs always produce identical schedules.
+// than determinism: identical inputs always produce identical schedules
+// (the sampling RNG is deterministically seeded).
 type taskEstimator struct {
 	model    costmodel.Model
 	pageSize int
-	r, s     subtreeModel
+	r, s     sideModel
+	sampled  bool // both sides carry sampled statistics
 }
 
-func newTaskEstimator(r, s *rtree.Tree) taskEstimator {
-	return taskEstimator{
+func newTaskEstimator(r, s *rtree.Tree, useSampled bool) taskEstimator {
+	e := taskEstimator{
 		model:    costmodel.Default(),
 		pageSize: r.PageSize(),
-		r:        newSubtreeModel(r),
-		s:        newSubtreeModel(s),
+		r:        newSideModel(r, useSampled),
+		s:        newSideModel(s, useSampled),
 	}
+	e.sampled = e.r.sampled && e.s.sampled
+	return e
 }
 
 // areaFraction returns the share of an entry rectangle covered by the
@@ -139,8 +200,21 @@ func areaFraction(intersection, area float64) float64 {
 	return f
 }
 
+// extentFraction returns the probability that two intervals of combined
+// length sum, placed uniformly in an interval of the given extent, overlap —
+// clamped to 1 and treating a degenerate extent as certain overlap.
+func extentFraction(sum, extent float64) float64 {
+	if extent <= 0 {
+		return 1
+	}
+	if f := sum / extent; f < 1 {
+		return f
+	}
+	return 1
+}
+
 // seconds estimates the cost-model execution time of one task.  Only the
-// task's rectangles and the catalog averages feed the estimate — never the
+// task's rectangles and the catalog statistics feed the estimate — never the
 // contents of the referenced child nodes, which the planner has not read
 // (and so has not paid I/O for).
 func (e taskEstimator) seconds(t parallelTask) float64 {
@@ -152,7 +226,26 @@ func (e taskEstimator) seconds(t parallelTask) float64 {
 		// Every task reads at least its two subtree roots.
 		pages = 2
 	}
-	comps := fr * e.r.entries(t.er.Child.Level) * fs * e.s.entries(t.es.Child.Level)
+	er := fr * e.r.entries(t.er.Child.Level)
+	es := fs * e.s.entries(t.es.Child.Level)
+	comps := er * es
+	if e.sampled {
+		// Plane-sweep selectivity: the CPU-tuned algorithms sort both
+		// restricted entry sequences and test only the x-overlapping pairs.
+		// The sampled mean data-rectangle extents give the probability that
+		// two entries drawn uniformly from the task's intersection rectangle
+		// overlap in x, turning the all-pairs product into the sweep's
+		// expected test count; the n·log n term models the sorting.
+		wr, _, _ := e.r.cat.LeafExtent()
+		ws, _, _ := e.s.cat.LeafExtent()
+		var ix float64
+		if rect, ok := t.er.Rect.Intersection(t.es.Rect); ok {
+			ix = rect.Width()
+		}
+		tests := er * es * extentFraction(wr+ws, ix)
+		sorts := (er + es) * math.Log2(er+es+2)
+		comps = sorts + tests
+	}
 	return e.model.Estimate(int64(pages+0.5), e.pageSize, int64(comps+0.5)).TotalSeconds()
 }
 
@@ -165,20 +258,23 @@ func (e taskEstimator) estimates(tasks []parallelTask) []float64 {
 	return est
 }
 
-// buildSchedule returns the per-worker schedule of one static strategy: for
-// each worker the ordered indices into tasks it executes.  It returns nil
-// for PartitionDynamic, where workers pull from the shared queue instead.
-// workers must already be clamped to len(tasks), so every worker receives at
-// least one task.  ParallelJoin validates the strategy before planning, so
-// an unknown value cannot reach this switch.
-func buildSchedule(strategy PartitionStrategy, r, s *rtree.Tree, tasks []parallelTask, workers int) [][]int32 {
+// buildSchedule returns the per-worker schedule of one strategy: for each
+// worker the ordered indices into tasks it executes.  It returns nil for
+// PartitionDynamic, where workers pull from the shared queue instead.  est
+// holds the per-task cost estimates for the estimate-driven strategies (LPT,
+// spatial, stealing) and may be nil for the others.  The stealing strategy
+// starts from the spatial schedule; the queues built over it are then
+// rebalanced at run time.  workers must already be clamped to len(tasks), so
+// every worker receives at least one task.  ParallelJoin validates the
+// strategy before planning, so an unknown value cannot reach this switch.
+func buildSchedule(strategy PartitionStrategy, r, s *rtree.Tree, tasks []parallelTask, est []float64, workers int) [][]int32 {
 	switch strategy {
 	case PartitionRoundRobin:
 		return scheduleRoundRobin(tasks, workers)
 	case PartitionLPT:
-		return scheduleLPT(newTaskEstimator(r, s).estimates(tasks), workers)
-	case PartitionSpatial:
-		return scheduleSpatial(r, s, tasks, workers)
+		return scheduleLPT(est, workers)
+	case PartitionSpatial, PartitionStealing:
+		return scheduleSpatial(r, s, tasks, est, workers)
 	default:
 		return nil
 	}
@@ -239,7 +335,7 @@ const spatialRegionsPerWorker = 4
 // within every region, so consecutive tasks share subtrees and the worker's
 // buffer partition sees reuse, while the region-level packing keeps the
 // estimated load balanced.
-func scheduleSpatial(r, s *rtree.Tree, tasks []parallelTask, workers int) [][]int32 {
+func scheduleSpatial(r, s *rtree.Tree, tasks []parallelTask, est []float64, workers int) [][]int32 {
 	world := jointWorld(r, s)
 	keys := make([]uint64, len(tasks))
 	for i, t := range tasks {
@@ -260,7 +356,6 @@ func scheduleSpatial(r, s *rtree.Tree, tasks []parallelTask, workers int) [][]in
 		return [][]int32{order}
 	}
 
-	est := newTaskEstimator(r, s).estimates(tasks)
 	regions := workers * spatialRegionsPerWorker
 	if regions > len(tasks) {
 		regions = len(tasks)

@@ -3,6 +3,7 @@ package join
 import (
 	"errors"
 	"testing"
+	"testing/quick"
 
 	"repro/internal/buffer"
 	"repro/internal/metrics"
@@ -58,12 +59,13 @@ func TestBuildScheduleCoversAllTasks(t *testing.T) {
 	if len(tasks) < 4 {
 		t.Fatalf("want at least 4 root tasks, got %d", len(tasks))
 	}
-	for _, strategy := range StaticPartitionStrategies {
+	est := newTaskEstimator(r, s, true).estimates(tasks)
+	for _, strategy := range PartitionStrategies {
 		for _, workers := range []int{1, 2, 3, len(tasks)} {
-			checkSchedule(t, buildSchedule(strategy, r, s, tasks, workers), len(tasks), workers)
+			checkSchedule(t, buildSchedule(strategy, r, s, tasks, est, workers), len(tasks), workers)
 		}
 	}
-	if schedule := buildSchedule(PartitionDynamic, r, s, tasks, 4); schedule != nil {
+	if schedule := buildSchedule(PartitionDynamic, r, s, tasks, est, 4); schedule != nil {
 		t.Fatalf("dynamic strategy must return a nil schedule, got %v", schedule)
 	}
 	if _, err := ParallelJoin(r, s, ParallelOptions{
@@ -77,9 +79,10 @@ func TestBuildScheduleCoversAllTasks(t *testing.T) {
 func TestBuildScheduleIsDeterministic(t *testing.T) {
 	r, s, _, _ := buildPair(t, 3000, 3000, storage.PageSize1K)
 	tasks := planTasks(r, s)
-	for _, strategy := range StaticPartitionStrategies {
-		a := buildSchedule(strategy, r, s, tasks, 4)
-		b := buildSchedule(strategy, r, s, tasks, 4)
+	est := newTaskEstimator(r, s, true).estimates(tasks)
+	for _, strategy := range PartitionStrategies {
+		a := buildSchedule(strategy, r, s, tasks, est, 4)
+		b := buildSchedule(strategy, r, s, tasks, est, 4)
 		for w := range a {
 			if len(a[w]) != len(b[w]) {
 				t.Fatalf("%v: worker %d sizes differ between runs", strategy, w)
@@ -99,7 +102,7 @@ func TestBuildScheduleIsDeterministic(t *testing.T) {
 func TestLPTBalancesEstimates(t *testing.T) {
 	r, s, _, _ := buildPair(t, 4000, 4000, storage.PageSize1K)
 	tasks := planTasks(r, s)
-	est := newTaskEstimator(r, s).estimates(tasks)
+	est := newTaskEstimator(r, s, true).estimates(tasks)
 	for _, e := range est {
 		if e <= 0 {
 			t.Fatal("task estimates must be positive")
@@ -151,7 +154,7 @@ func TestSpatialScheduleIsHilbertContiguous(t *testing.T) {
 	if len(tasks) < workers*spatialRegionsPerWorker {
 		t.Fatalf("want at least %d tasks, got %d", workers*spatialRegionsPerWorker, len(tasks))
 	}
-	schedule := scheduleSpatial(r, s, tasks, workers)
+	schedule := scheduleSpatial(r, s, tasks, newTaskEstimator(r, s, true).estimates(tasks), workers)
 	checkSchedule(t, schedule, len(tasks), workers)
 
 	world := jointWorld(r, s)
@@ -195,12 +198,145 @@ func TestSpatialScheduleIsHilbertContiguous(t *testing.T) {
 	}
 }
 
+// TestContiguousSplitProperties pins the invariants of the spatial cut with
+// testing/quick: for arbitrary non-negative estimates and any feasible bin
+// count, the concatenation of the bins is exactly the input order (every
+// task scheduled exactly once, prefix structure preserved, no duplicates)
+// and no bin is empty.
+func TestContiguousSplitProperties(t *testing.T) {
+	f := func(raw []uint16, binSeed uint8) bool {
+		n := len(raw)
+		if n == 0 {
+			return true
+		}
+		est := make([]float64, n)
+		order := make([]int32, n)
+		for i, v := range raw {
+			est[i] = float64(v) / 16 // non-negative, zeros allowed
+			order[i] = int32(i)
+		}
+		bins := 1 + int(binSeed)%n
+		split := contiguousSplit(order, est, bins)
+		if len(split) != bins {
+			return false
+		}
+		pos := 0
+		for _, run := range split {
+			if len(run) == 0 {
+				return false
+			}
+			for _, i := range run {
+				if pos >= n || order[pos] != i {
+					return false
+				}
+				pos++
+			}
+		}
+		return pos == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStealQueueProperties drives one queue with an arbitrary interleaving
+// of owner pops and tail steals (testing/quick) and checks the tail-stealing
+// invariants: the owner always consumes a prefix of the original run in
+// order, every stolen run is a contiguous tail of the victim's remainder in
+// original order, no task is ever delivered twice, and pops plus steals
+// together deliver every task exactly once.
+func TestStealQueueProperties(t *testing.T) {
+	f := func(sizeSeed uint16, ops []bool) bool {
+		n := 1 + int(sizeSeed)%300
+		est := make([]float64, n)
+		orig := make([]int32, n)
+		for i := range orig {
+			est[i] = 1 + float64(i%7)
+			orig[i] = int32(n - 1 - i) // arbitrary task ids, not positions
+		}
+		q := &stealQueue{tasks: append([]int32(nil), orig...)}
+		var load float64
+		for _, i := range orig {
+			load += est[i]
+		}
+		q.setLoadLocked(load)
+
+		delivered := make(map[int32]int, n)
+		popped := 0
+		var stolen [][]int32
+		var buf []int32
+		for _, stealOp := range ops {
+			if stealOp {
+				run, _ := q.stealTail(buf, est)
+				if len(run) > 0 {
+					cp := append([]int32(nil), run...)
+					stolen = append(stolen, cp)
+					for _, i := range cp {
+						delivered[i]++
+					}
+				}
+				buf = run
+			} else {
+				i, ok := q.pop(est)
+				if !ok {
+					continue
+				}
+				// Owner pops must walk the original prefix in order.
+				if i != orig[popped] {
+					return false
+				}
+				delivered[i]++
+				popped++
+			}
+		}
+		// Drain the queue; the remainder plus everything delivered must be
+		// the original run, each task exactly once.
+		for {
+			i, ok := q.pop(est)
+			if !ok {
+				break
+			}
+			if i != orig[popped] {
+				return false
+			}
+			delivered[i]++
+			popped++
+		}
+		// Stolen runs are contiguous tails in original order: each steal
+		// removed the tail of the then-remainder, so the last steal sits
+		// closest to the popped prefix and concatenating the runs in reverse
+		// steal order must reconstruct orig[popped:] exactly.
+		tail := make([]int32, 0, n-popped)
+		for s := len(stolen) - 1; s >= 0; s-- {
+			tail = append(tail, stolen[s]...)
+		}
+		if len(tail) != n-popped {
+			return false
+		}
+		for k, i := range tail {
+			if orig[popped+k] != i {
+				return false
+			}
+		}
+		for _, i := range orig {
+			if delivered[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPartitionStrategyString(t *testing.T) {
 	want := map[PartitionStrategy]string{
 		PartitionDynamic:      "dynamic",
 		PartitionRoundRobin:   "round-robin",
 		PartitionLPT:          "lpt",
 		PartitionSpatial:      "spatial",
+		PartitionStealing:     "stealing",
 		PartitionStrategy(42): "PartitionStrategy(42)",
 	}
 	for s, str := range want {

@@ -1,0 +1,259 @@
+package join
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Locality-preserving work stealing (PartitionStealing).
+//
+// Every worker owns the Hilbert-contiguous region queue the spatial schedule
+// assigned to it and consumes it front to back, so as long as the estimates
+// hold, execution is exactly the spatial schedule: contiguous Hilbert runs
+// per worker, private-buffer reuse intact.  When a worker drains its queue it
+// becomes a thief: it picks the victim with the largest remaining estimated
+// load and takes half of the *tail* of the victim's remaining run.  The
+// victim keeps the prefix it is already sweeping — its buffer keeps the
+// subtrees of that prefix resident — and the thief receives a run that is
+// itself Hilbert-contiguous, so locality degrades by one region split per
+// steal instead of collapsing to the interleaved shared queue.  Steals move
+// whole runs between queues under per-queue mutexes; a task is therefore
+// executed exactly once regardless of how steals and pops interleave (the
+// race/property tests in stealing_test.go pin this).
+
+// The executed split must be a property of the queues, the estimates and the
+// steals — not of the host scheduler.  The repo measures parallel scaling in
+// counted-cost simulated time (est-speedup), because the bench host need not
+// have the cores; for the same reason the stealing workers advance in
+// *virtual* time: each worker keeps a clock of the cost-model seconds of the
+// work it has executed (actual counted comparisons and disk accesses, not
+// estimates) and yields while it is more than a bounded window ahead of the
+// slowest worker that still has work.  This is a conservative time-window
+// simulation: within the window workers run truly concurrently, so real
+// cores are still used, while across hosts the queues drain at rates
+// proportional to the cost model — which is what makes a drained queue's
+// steal pick the victim that a real N-core machine's laggard would be.
+// Without pacing the split collapses into host artifacts in both directions:
+// on one core with task-granular yielding the queues drain at equal *task*
+// rates (so cost-heavy regions never fall behind and steals never fire), and
+// with kernel timeslices far coarser than one sub-join a worker bursts
+// through its whole region and over-steals from workers that were merely
+// descheduled.
+
+// stealPacingWindowTasks sizes the virtual-time window in units of the mean
+// task estimate: small enough that queue drain rates track the cost model,
+// large enough that workers within a region run concurrently on real cores.
+const stealPacingWindowTasks = 1
+
+// stealPacer is the shared virtual clock of a stealing execution.
+type stealPacer struct {
+	clocks []atomic.Uint64 // float64 bits of executed cost-model seconds
+	done   []atomic.Bool
+	window float64
+}
+
+func newStealPacer(workers int, est []float64) *stealPacer {
+	var total float64
+	for _, e := range est {
+		total += e
+	}
+	mean := 0.0
+	if len(est) > 0 {
+		mean = total / float64(len(est))
+	}
+	return &stealPacer{
+		clocks: make([]atomic.Uint64, workers),
+		done:   make([]atomic.Bool, workers),
+		window: stealPacingWindowTasks * mean,
+	}
+}
+
+// wait blocks (by yielding) while worker w is more than the window ahead of
+// the slowest worker that still has work.  The slowest worker never waits,
+// so the pacer cannot deadlock; when every other worker has finished, wait
+// returns immediately.
+func (p *stealPacer) wait(w int) {
+	for {
+		my := math.Float64frombits(p.clocks[w].Load())
+		min := math.Inf(1)
+		for i := range p.clocks {
+			if i == w || p.done[i].Load() {
+				continue
+			}
+			if v := math.Float64frombits(p.clocks[i].Load()); v < min {
+				min = v
+			}
+		}
+		if my <= min+p.window { // min is +Inf when w is the last worker running
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// advance adds dv executed cost-model seconds to worker w's clock.
+func (p *stealPacer) advance(w int, dv float64) {
+	my := math.Float64frombits(p.clocks[w].Load())
+	p.clocks[w].Store(math.Float64bits(my + dv))
+}
+
+// finish marks worker w done so that others stop waiting for its clock.
+func (p *stealPacer) finish(w int) {
+	p.done[w].Store(true)
+}
+
+// stealQueue is one worker's region queue.  The owner pops from the head;
+// thieves remove the tail half of the remaining run.  All fields are guarded
+// by mu except approx, an atomically readable copy of load that victim
+// selection reads without locking every queue.
+type stealQueue struct {
+	mu     sync.Mutex
+	tasks  []int32 // task indices in Hilbert order; tasks[head:] remain
+	head   int
+	load   float64       // remaining estimated seconds of tasks[head:]
+	approx atomic.Uint64 // float64 bits of load, for lock-free victim scans
+
+	// Owner-side steal accounting (written only by the owning worker).
+	steals      int // successful steal operations performed as thief
+	stolenTasks int // tasks acquired through stealing
+}
+
+// newStealQueues builds one queue per worker from the spatial schedule and
+// the per-task estimates.  The schedule slices are private per worker, so the
+// queues can adopt them without copying.
+func newStealQueues(schedule [][]int32, est []float64) []*stealQueue {
+	queues := make([]*stealQueue, len(schedule))
+	for w, run := range schedule {
+		q := &stealQueue{tasks: run}
+		var load float64
+		for _, i := range run {
+			load += est[i]
+		}
+		q.setLoadLocked(load)
+		queues[w] = q
+	}
+	return queues
+}
+
+// setLoadLocked updates load and its atomic shadow; the caller holds mu (or
+// has exclusive access during construction).
+func (q *stealQueue) setLoadLocked(v float64) {
+	if v < 0 {
+		// Guard against float drift when subtracting the last task.
+		v = 0
+	}
+	q.load = v
+	q.approx.Store(math.Float64bits(v))
+}
+
+// remainingApprox returns the queue's remaining estimated load without
+// locking; victim selection tolerates the slight staleness.
+func (q *stealQueue) remainingApprox() float64 {
+	return math.Float64frombits(q.approx.Load())
+}
+
+// pop removes the next task from the head of the queue, preserving the
+// Hilbert order of the owner's region.
+func (q *stealQueue) pop(est []float64) (int32, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.tasks) {
+		return 0, false
+	}
+	i := q.tasks[q.head]
+	q.head++
+	q.setLoadLocked(q.load - est[i])
+	return i, true
+}
+
+// stealTail removes the latter half of the queue's remaining run into buf and
+// returns it with its estimated load.  The victim keeps the first half — the
+// prefix of its Hilbert run it is already processing.  Runs of fewer than two
+// tasks are not stealable: the victim's last task stays with its owner, which
+// bounds the steal churn at the very tail of the join.
+func (q *stealQueue) stealTail(buf []int32, est []float64) ([]int32, float64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	remaining := len(q.tasks) - q.head
+	if remaining < 2 {
+		return buf[:0], 0
+	}
+	n := remaining / 2
+	cut := len(q.tasks) - n
+	buf = append(buf[:0], q.tasks[cut:]...)
+	q.tasks = q.tasks[:cut]
+	var load float64
+	for _, i := range buf {
+		load += est[i]
+	}
+	q.setLoadLocked(q.load - load)
+	return buf, load
+}
+
+// install replaces the (drained) queue's run with a stolen one.  The run is
+// copied out of the thief's scratch buffer so the queue stays stealable by
+// other workers without aliasing.
+func (q *stealQueue) install(run []int32, load float64) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks[:0], run...)
+	q.head = 0
+	q.setLoadLocked(load)
+	q.mu.Unlock()
+}
+
+// steal refills worker w's drained queue from the most-loaded victim.  It
+// returns false when no stealable work remains: every other queue is either
+// empty or down to a single task, which its owner will finish.  A stolen run
+// is invisible while it moves between queues (removed from the victim, not
+// yet installed in the thief), so inFlight tracks moves in progress and a
+// scanner that finds nothing stealable waits for them to land before
+// concluding the tail is unstealable — otherwise a worker could exit early
+// while a large run is mid-flight and its new owner would finish it alone.
+// Victim selection reads the atomic load shadows, so the scan takes no
+// locks; only the chosen victim is locked, and never while holding the
+// thief's own lock, so thieves cannot deadlock on each other.
+func steal(queues []*stealQueue, w int, buf *[]int32, est []float64, inFlight *atomic.Int32) bool {
+	skip := make([]bool, len(queues))
+	for {
+		victim, best := -1, 0.0
+		for i, q := range queues {
+			if i == w || skip[i] {
+				continue
+			}
+			if l := q.remainingApprox(); l > best {
+				best, victim = l, i
+			}
+		}
+		if victim < 0 {
+			if inFlight.Load() > 0 {
+				// A run is moving between queues; once installed it may be
+				// stealable (or a skipped victim may have been refilled), so
+				// rescan from scratch instead of giving up.
+				runtime.Gosched()
+				for i := range skip {
+					skip[i] = false
+				}
+				continue
+			}
+			return false
+		}
+		inFlight.Add(1)
+		run, load := queues[victim].stealTail(*buf, est)
+		*buf = run
+		if len(run) == 0 {
+			// The victim drained (or shrank to one task) between the scan and
+			// the lock; it can only shrink further, so skip it and rescan.
+			inFlight.Add(-1)
+			skip[victim] = true
+			continue
+		}
+		self := queues[w]
+		self.install(run, load)
+		inFlight.Add(-1)
+		self.steals++
+		self.stolenTasks += len(run)
+		return true
+	}
+}

@@ -1,0 +1,114 @@
+package join
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// These tests are the race wall of the stealing scheduler: they hammer the
+// queue operations from many goroutines and check the exactly-once delivery
+// invariant that the join's correctness rests on.  CI runs them under -race.
+
+// TestStealQueuesConcurrentExactlyOnce runs the real worker loop shape —
+// pop-own-queue-then-steal — over many goroutines and asserts that every
+// task is delivered to exactly one worker, whatever interleaving the
+// scheduler produces.
+func TestStealQueuesConcurrentExactlyOnce(t *testing.T) {
+	for _, cfg := range []struct{ workers, tasks int }{
+		{2, 64}, {4, 400}, {8, 1000}, {16, 97},
+	} {
+		est := make([]float64, cfg.tasks)
+		for i := range est {
+			est[i] = 1 + float64(i%13)
+		}
+		schedule := make([][]int32, cfg.workers)
+		for i := 0; i < cfg.tasks; i++ {
+			w := i * cfg.workers / cfg.tasks
+			schedule[w] = append(schedule[w], int32(i))
+		}
+		queues := newStealQueues(schedule, est)
+
+		counts := make([]atomic.Int32, cfg.tasks)
+		var inFlight atomic.Int32
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				q := queues[w]
+				var buf []int32
+				for {
+					i, ok := q.pop(est)
+					if !ok {
+						if !steal(queues, w, &buf, est, &inFlight) {
+							return
+						}
+						continue
+					}
+					counts[i].Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d tasks=%d: task %d executed %d times", cfg.workers, cfg.tasks, i, got)
+			}
+		}
+		for w, q := range queues {
+			if q.remainingApprox() != 0 {
+				t.Errorf("workers=%d: queue %d reports %.3f remaining load after drain",
+					cfg.workers, w, q.remainingApprox())
+			}
+		}
+	}
+}
+
+// TestStealingJoinUnderContention runs the full ParallelJoin with the
+// stealing strategy repeatedly and concurrently with itself on the same
+// trees (trees are read-only during joins), so the race detector sees the
+// queues, the worker pools and the catalog-statistics cache under real
+// contention.  Every run must reproduce the sequential result set.
+func TestStealingJoinUnderContention(t *testing.T) {
+	r, s, _, _ := buildPair(t, 2000, 2000, storage.PageSize1K)
+	seq, err := Join(r, s, Options{Method: SJ4, BufferBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash := sortedPairHash(seq.Pairs)
+
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*rounds)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				res, err := ParallelJoin(r, s, ParallelOptions{
+					Options:           Options{Method: SJ4, BufferBytes: 64 << 10},
+					Workers:           4,
+					Strategy:          PartitionStealing,
+					MinTasksPerWorker: 6,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := sortedPairHash(res.Pairs); got != wantHash || res.Count != seq.Count {
+					t.Errorf("stealing join diverged: count %d vs %d, hash %d vs %d",
+						res.Count, seq.Count, got, wantHash)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ func (t *Tree) Delete(rect geom.Rect, data int32) bool {
 		return false
 	}
 	t.size--
+	t.invalidateCatalog()
 
 	// Re-insert entries of dissolved nodes at their original level.  One
 	// "already re-inserted per level" record is shared across the whole

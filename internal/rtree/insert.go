@@ -9,6 +9,7 @@ import (
 // Insert adds a data rectangle with the given object identifier to the tree.
 func (t *Tree) Insert(rect geom.Rect, data int32) {
 	t.size++
+	t.invalidateCatalog()
 	t.build.begin()
 	t.insertEntry(Entry{Rect: rect, Data: data}, 0)
 	// Forced re-insertion may have queued entries; process them until the

@@ -142,15 +142,16 @@ var treeIDs atomic.Int64
 // A Tree is not safe for concurrent mutation; concurrent read-only queries
 // are safe once construction is complete.
 type Tree struct {
-	id     int
-	opts   Options
-	maxEnt int // M
-	minEnt int // m
-	root   *Node
-	height int // number of levels; 1 while the root is a leaf
-	size   int // number of data entries
-	file   *storage.PageFile
-	build  buildArena // reusable construction scratch (see arena.go)
+	id      int
+	opts    Options
+	maxEnt  int // M
+	minEnt  int // m
+	root    *Node
+	height  int // number of levels; 1 while the root is a leaf
+	size    int // number of data entries
+	file    *storage.PageFile
+	build   buildArena   // reusable construction scratch (see arena.go)
+	catalog catalogCache // sampled catalog statistics (see sample.go)
 }
 
 type pendingEntry struct {

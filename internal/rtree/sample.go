@@ -1,0 +1,180 @@
+package rtree
+
+import (
+	"sync"
+
+	"repro/internal/costmodel"
+)
+
+// Catalog statistics collection: a bounded reservoir sample of per-node shape
+// summaries for every level, plus exact per-level node and entry counts.
+// The bulk loaders feed the sampler as they pack each level, so a bulk-loaded
+// tree has statistics the moment it is built; dynamically built or mutated
+// trees invalidate the cache and recollect lazily with a one-pass sampling
+// walk on the next CatalogStats call.  Collection is read-only observation:
+// it never changes the tree shape, so the structural parity goldens are
+// unaffected.
+
+// SampleReservoirSize bounds the number of node summaries kept per level.
+// 64 nodes capture the mean fan-out and entry extents of even very skewed
+// levels while keeping the catalog a few KBytes regardless of tree size.
+const SampleReservoirSize = 64
+
+// catalogSeed seeds the deterministic reservoir RNG.  A fixed seed makes the
+// sample — and every schedule derived from the statistics — a reproducible
+// function of the tree alone.
+const catalogSeed = 0x9E3779B97F4A7C15
+
+// nodeSample is the shape summary of one sampled node.
+type nodeSample struct {
+	fanout  int
+	width   float64 // mean entry width
+	height  float64 // mean entry height
+	density float64 // sum of entry areas / node MBR area
+}
+
+// levelSampler accumulates one level's exact counts and reservoir.
+type levelSampler struct {
+	nodes   int64
+	entries int64
+	res     []nodeSample
+}
+
+// catalogSampler samples a whole tree, one reservoir per level.
+type catalogSampler struct {
+	rng    uint64
+	levels []levelSampler
+}
+
+func newCatalogSampler() *catalogSampler {
+	return &catalogSampler{rng: catalogSeed}
+}
+
+// next is a splitmix64 step: fast, deterministic and well-distributed, which
+// is all a reservoir index needs.
+func (cs *catalogSampler) next() uint64 {
+	cs.rng += 0x9E3779B97F4A7C15
+	z := cs.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// observe feeds one node into the sampler (Algorithm R reservoir sampling per
+// level).  Empty nodes (an empty tree root) are skipped.
+func (cs *catalogSampler) observe(n *Node) {
+	if len(n.Entries) == 0 {
+		return
+	}
+	for len(cs.levels) <= n.Level {
+		cs.levels = append(cs.levels, levelSampler{})
+	}
+	ls := &cs.levels[n.Level]
+	ls.nodes++
+	ls.entries += int64(len(n.Entries))
+	if len(ls.res) < SampleReservoirSize {
+		ls.res = append(ls.res, summarize(n))
+		return
+	}
+	if j := cs.next() % uint64(ls.nodes); j < SampleReservoirSize {
+		ls.res[j] = summarize(n)
+	}
+}
+
+// observeLevel feeds every node of one freshly packed bulk-load level.
+func (cs *catalogSampler) observeLevel(nodes []*Node) {
+	for _, n := range nodes {
+		cs.observe(n)
+	}
+}
+
+// summarize computes the shape summary of one node.
+func summarize(n *Node) nodeSample {
+	var sumW, sumH, sumA float64
+	for _, e := range n.Entries {
+		sumW += e.Rect.Width()
+		sumH += e.Rect.Height()
+		sumA += e.Rect.Area()
+	}
+	cnt := float64(len(n.Entries))
+	s := nodeSample{
+		fanout: len(n.Entries),
+		width:  sumW / cnt,
+		height: sumH / cnt,
+	}
+	if mbrArea := n.MBR().Area(); mbrArea > 0 {
+		s.density = sumA / mbrArea
+	} else {
+		// A degenerate MBR (points or a line) is fully covered by its entries.
+		s.density = 1
+	}
+	return s
+}
+
+// catalog assembles the sampled levels into a costmodel.Catalog.
+func (cs *catalogSampler) catalog(pageSize, height int) costmodel.Catalog {
+	cat := costmodel.Catalog{PageSize: pageSize, Height: height}
+	for l, ls := range cs.levels {
+		stat := costmodel.LevelStats{
+			Level:      l,
+			Nodes:      ls.nodes,
+			Entries:    ls.entries,
+			SampleSize: len(ls.res),
+		}
+		if n := float64(len(ls.res)); n > 0 {
+			var fan, w, h, d float64
+			for _, s := range ls.res {
+				fan += float64(s.fanout)
+				w += s.width
+				h += s.height
+				d += s.density
+			}
+			stat.AvgFanout = fan / n
+			stat.AvgEntryWidth = w / n
+			stat.AvgEntryHeight = h / n
+			stat.AvgDensity = d / n
+		}
+		cat.Levels = append(cat.Levels, stat)
+	}
+	return cat
+}
+
+// catalogCache is the tree-resident statistics cache.  The mutex only guards
+// the lazy recollection path: concurrent read-only users of a finished tree
+// (the documented concurrency contract) may all call CatalogStats, and the
+// first one in recollects while the rest wait.
+type catalogCache struct {
+	mu    sync.Mutex
+	valid bool
+	cat   costmodel.Catalog
+}
+
+// invalidateCatalog marks the statistics stale; insert and delete call it on
+// every mutation (a single store, negligible against the tree update).
+func (t *Tree) invalidateCatalog() {
+	t.catalog.valid = false
+}
+
+// setCatalog installs freshly collected statistics (bulk loaders call it with
+// the sampler they fed during packing).
+func (t *Tree) setCatalog(cs *catalogSampler) {
+	t.catalog.cat = cs.catalog(t.opts.PageSize, t.height)
+	t.catalog.valid = true
+}
+
+// CatalogStats returns the tree's sampled catalog statistics.  Bulk-loaded
+// trees carry statistics collected during packing; for dynamically built or
+// since-mutated trees the statistics are recollected by a one-pass
+// reservoir-sampling walk and cached until the next mutation.  The sampling
+// RNG is deterministically seeded, so identical trees always yield identical
+// statistics (and therefore identical schedules downstream).
+func (t *Tree) CatalogStats() costmodel.Catalog {
+	t.catalog.mu.Lock()
+	defer t.catalog.mu.Unlock()
+	if !t.catalog.valid {
+		cs := newCatalogSampler()
+		t.walk(t.root, cs.observe)
+		t.setCatalog(cs)
+	}
+	return t.catalog.cat
+}

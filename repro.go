@@ -136,14 +136,17 @@ type ParallelJoinOptions = join.ParallelOptions
 // workers.
 type PartitionStrategy = join.PartitionStrategy
 
-// Partition strategies: the dynamic shared queue plus the three
-// deterministic schedules (round-robin dealing, greedy LPT bin packing over
-// cost-model estimates, and Hilbert-ordered contiguous spatial regions).
+// Partition strategies: the dynamic shared queue, the three deterministic
+// schedules (round-robin dealing, greedy LPT bin packing over cost-model
+// estimates, and Hilbert-ordered contiguous spatial regions) and the
+// locality-preserving work-stealing scheduler (per-worker spatial region
+// queues rebalanced at run time by tail-half steals).
 const (
 	DynamicPartition    = join.PartitionDynamic
 	RoundRobinPartition = join.PartitionRoundRobin
 	LPTPartition        = join.PartitionLPT
 	SpatialPartition    = join.PartitionSpatial
+	StealingPartition   = join.PartitionStealing
 )
 
 // ParallelTreeJoin computes the MBR-spatial-join with several workers, each
@@ -242,6 +245,14 @@ type (
 	CostModel = costmodel.Model
 	// CostEstimate is an estimated execution time split into I/O and CPU.
 	CostEstimate = costmodel.Estimate
+	// TreeCatalog is the sampled per-level catalog statistics of an R-tree
+	// (RTree.CatalogStats): exact node/entry populations per level plus
+	// reservoir-sampled fan-out, entry-extent and density averages.  The
+	// parallel planner's task estimator consumes it in place of catalog
+	// averages.
+	TreeCatalog = costmodel.Catalog
+	// TreeCatalogLevel is one level's statistics within a TreeCatalog.
+	TreeCatalogLevel = costmodel.LevelStats
 )
 
 // DefaultCostModel returns the paper's cost constants.
