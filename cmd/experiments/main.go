@@ -37,6 +37,7 @@ func run(args []string, out io.Writer) error {
 		figure   = fs.Int("figure", 0, "run only this figure (2, 8, 9 or 10)")
 		bulk     = fs.Bool("bulk", false, "build trees with STR bulk loading instead of insertion")
 		parallel = fs.Bool("parallel", false, "run only the parallel load-balance experiment (extension)")
+		updates  = fs.Bool("updates", false, "run only the update-heavy workload experiment (extension)")
 		pages    = fs.String("pages", "", "comma-separated page sizes in bytes (default 1024,2048,4096,8192)")
 		buffers  = fs.String("buffers", "", "comma-separated LRU buffer sizes in KByte (default 0,8,32,128,512)")
 	)
@@ -60,6 +61,8 @@ func run(args []string, out io.Writer) error {
 
 	suite := repro.NewExperimentSuite(cfg)
 	switch {
+	case *updates:
+		experiments.PrintTableUpdates(out, suite.TableUpdates())
 	case *parallel:
 		experiments.PrintTableParallel(out, suite.TableParallel())
 		fmt.Fprintln(out)

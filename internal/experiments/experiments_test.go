@@ -350,6 +350,68 @@ func TestTableParallelShape(t *testing.T) {
 	}
 }
 
+func TestTableUpdatesShape(t *testing.T) {
+	s := tinySuite()
+	rows := s.TableUpdates()
+	strategies := len(join.PartitionStrategies) + 1 // + dynamic
+	want := 2 * UpdateRounds * strategies
+	if len(rows) != want {
+		t.Fatalf("TableUpdates returned %d rows, want %d", len(rows), want)
+	}
+	i := 0
+	for _, maintained := range []bool{true, false} {
+		for round := 1; round <= UpdateRounds; round++ {
+			var pairs int
+			for j := 0; j < strategies; j++ {
+				row := rows[i]
+				i++
+				if row.Maintained != maintained || row.Round != round {
+					t.Fatalf("row %d is %v/round %d, want %v/round %d",
+						i-1, row.Maintained, row.Round, maintained, round)
+				}
+				if j == 0 {
+					pairs = row.Pairs
+				} else if row.Pairs != pairs {
+					t.Errorf("%v round %d %v: %d pairs, want %d (result must not depend on the schedule)",
+						maintained, round, row.Strategy, row.Pairs, pairs)
+				}
+				if row.Tasks <= 0 || row.TimeSkew < 1 {
+					t.Errorf("degenerate row %+v", row)
+				}
+				if row.HintHitRate <= 0 || row.HintHitRate > 1 {
+					t.Errorf("%v round %d: hint hit rate %v outside (0,1]", maintained, round, row.HintHitRate)
+				}
+				// The acceptance pin: maintained statistics never walk the
+				// tree, whatever the mutation sequence.
+				if maintained && (row.CatalogWalks != 0 || row.WalkedPages != 0) {
+					t.Errorf("maintained round %d %v performed %d recollection walks (%d pages)",
+						round, row.Strategy, row.CatalogWalks, row.WalkedPages)
+				}
+			}
+		}
+	}
+	// The ablation must actually show the stall it exists to show: at least
+	// one recollect-mode row pays a full-tree walk per tree.
+	var ablatedWalks int
+	for _, row := range rows {
+		if !row.Maintained {
+			ablatedWalks += row.CatalogWalks
+		}
+	}
+	if ablatedWalks < 2*UpdateRounds {
+		t.Errorf("ablation block shows only %d recollection walks over %d rounds", ablatedWalks, UpdateRounds)
+	}
+
+	var buf bytes.Buffer
+	PrintTableUpdates(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"maintained", "recollect", "hint rate", "walked pages", "stealing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintTableUpdates output is missing %q", want)
+		}
+	}
+}
+
 func TestTableEstimatorShape(t *testing.T) {
 	s := tinySuite()
 	rows := s.TableEstimator()

@@ -128,6 +128,30 @@ func (s *Suite) TableParallel() []ParallelRow {
 	return rows
 }
 
+// MeanEstErrPct returns the mean over workers of |predicted - actual| /
+// actual in per cent — predicted being the cost-model estimate of the
+// worker's initial schedule (Result.WorkerEstSeconds) and actual the
+// cost-model time of its measured counters.  It reports false when the
+// result carries no predictions or no worker measured a positive cost.
+// This is the estimator-fidelity measure shared by TableEstimator,
+// TableUpdates and the update benchmark.
+func MeanEstErrPct(model costmodel.Model, res *join.Result, pageSize int) (float64, bool) {
+	var errSum float64
+	var counted int
+	for w, predicted := range res.WorkerEstSeconds {
+		actual := model.EstimateSnapshot(res.WorkerMetrics[w], pageSize).TotalSeconds()
+		if actual <= 0 {
+			continue
+		}
+		errSum += 100 * math.Abs(predicted-actual) / actual
+		counted++
+	}
+	if counted == 0 {
+		return 0, false
+	}
+	return errSum / float64(counted), true
+}
+
 // ParallelEstimate converts one ParallelJoin result into an estimated
 // parallel execution time under the paper's cost model: the planning cost
 // plus the estimate of the slowest worker, which is the critical path of the
@@ -236,18 +260,8 @@ func (s *Suite) TableEstimator() []EstimatorRow {
 				TimeSkew: res.TimeSkew(s.model, ParallelPageSize),
 				HitRate:  res.WorkerBufferHitRate(),
 			}
-			var errSum float64
-			var counted int
-			for w, predicted := range res.WorkerEstSeconds {
-				actual := s.model.EstimateSnapshot(res.WorkerMetrics[w], ParallelPageSize).TotalSeconds()
-				if actual <= 0 {
-					continue
-				}
-				errSum += 100 * math.Abs(predicted-actual) / actual
-				counted++
-			}
-			if counted > 0 {
-				row.MeanAbsErrPct = errSum / float64(counted)
+			if err, ok := MeanEstErrPct(s.model, res, ParallelPageSize); ok {
+				row.MeanAbsErrPct = err
 			}
 			if par := ParallelEstimate(s.model, res, ParallelPageSize); par.TotalSeconds() > 0 {
 				row.EstSpeedup = seqEst.TotalSeconds() / par.TotalSeconds()

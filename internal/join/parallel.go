@@ -283,13 +283,14 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	}
 	var queues []*stealQueue
 	var pacer *stealPacer
-	var stealsInFlight atomic.Int32
+	var flight *stealFlight
 	if popts.Strategy == PartitionStealing {
 		// The spatial schedule becomes the workers' initial region queues;
 		// from here on ownership of task runs moves between queues at run
 		// time, so the static schedule slices must no longer be read.
 		queues = newStealQueues(schedule, est)
 		pacer = newStealPacer(workers, est)
+		flight = newStealFlight()
 		schedule = nil
 	}
 	perWorkerBuffer := opts.BufferBytes / workers
@@ -366,12 +367,18 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 				stealModel := costmodel.Default()
 				pageSize := r.PageSize()
 				var stealBuf []int32
+				var drainedEst, actualSec float64
 				for {
 					i, ok := q.pop(est)
 					if !ok {
-						if !steal(queues, w, &stealBuf, est, &stealsInFlight) {
+						if !steal(queues, w, &stealBuf, est, flight) {
 							break
 						}
+						// A fresh region was installed (carrying the victim's
+						// published bias); start its ratio from scratch so the
+						// published value describes this run, not the region
+						// this worker just finished.
+						drainedEst, actualSec = 0, 0
 						continue
 					}
 					pacer.wait(w)
@@ -385,7 +392,15 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 					disk := c1.DiskAccesses() - c0.DiskAccesses()
 					comps := c1.TotalComparisons() - c0.TotalComparisons() +
 						(e.local.Comparisons - l0c) + (e.local.SortComparisons - l0s)
-					pacer.advance(w, stealModel.Estimate(disk, pageSize, comps).TotalSeconds())
+					sec := stealModel.Estimate(disk, pageSize, comps).TotalSeconds()
+					pacer.advance(w, sec)
+					// Publish the observed actual/estimated ratio so victim
+					// selection can correct this region's estimate bias.
+					drainedEst += est[i]
+					actualSec += sec
+					if drainedEst > 0 {
+						q.setBiasRatio(actualSec / drainedEst)
+					}
 				}
 				pacer.finish(w)
 			case schedule != nil:

@@ -37,6 +37,11 @@ type buildArena struct {
 	// orphans collects the entries of nodes dissolved by a Delete.
 	orphans []pendingEntry
 
+	// lastLeaf is the leaf that received the most recent data entry; the
+	// Hilbert insertion buffer seeds its next insert from it (insertbuf.go).
+	// Purely observational: plain Insert never reads it.
+	lastLeaf *Node
+
 	// ChooseSubtree candidate scratch.
 	candIdx    []int
 	candEnl    []float64

@@ -14,6 +14,7 @@ func (t *Tree) Delete(rect geom.Rect, data int32) bool {
 		return false
 	}
 	t.size--
+	t.muts++
 	t.invalidateCatalog()
 
 	// Re-insert entries of dissolved nodes at their original level.  One
@@ -35,6 +36,8 @@ func (t *Tree) Delete(rect geom.Rect, data int32) bool {
 
 	// Shrink the tree while the root is a directory node with one child.
 	for !t.root.IsLeaf() && len(t.root.Entries) == 1 {
+		t.maintRemoveNode(t.root)
+		t.maintEntries(t.root.Level, -1)
 		t.root = t.root.Entries[0].Child
 		t.height--
 	}
@@ -48,6 +51,10 @@ func (t *Tree) deleteRec(n *Node, rect geom.Rect, data int32, orphans *[]pending
 		for i, e := range n.Entries {
 			if e.Data == data && e.Rect.Equal(rect) {
 				n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+				t.maintEntries(n.Level, -1)
+				// Deletes never split, so without this the reservoir would
+				// keep describing the removed geometry indefinitely.
+				t.maintResample(n)
 				return true
 			}
 		}
@@ -68,7 +75,10 @@ func (t *Tree) deleteRec(n *Node, rect geom.Rect, data int32, orphans *[]pending
 			for _, ce := range child.Entries {
 				*orphans = append(*orphans, pendingEntry{entry: ce, level: child.Level})
 			}
+			t.maintRemoveNode(child)
+			t.maintEntries(child.Level, -len(child.Entries))
 			n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+			t.maintEntries(n.Level, -1)
 		} else {
 			n.Entries[i].Rect = child.MBR()
 		}

@@ -9,6 +9,7 @@ import (
 // Insert adds a data rectangle with the given object identifier to the tree.
 func (t *Tree) Insert(rect geom.Rect, data int32) {
 	t.size++
+	t.muts++
 	t.invalidateCatalog()
 	t.build.begin()
 	t.insertEntry(Entry{Rect: rect, Data: data}, 0)
@@ -53,6 +54,8 @@ func (t *Tree) insertEntry(e Entry, level int) {
 	)
 	t.root = newRoot
 	t.height++
+	t.maintAddNode(newRoot)
+	t.maintEntries(newRoot.Level, 2)
 }
 
 // insertRec descends from n to the target level, inserts the entry and
@@ -61,6 +64,12 @@ func (t *Tree) insertEntry(e Entry, level int) {
 func (t *Tree) insertRec(n *Node, e Entry, level int) (Entry, bool) {
 	if n.Level == level {
 		n.Entries = append(n.Entries, e)
+		t.maintEntries(n.Level, 1)
+		if n.Level == 0 {
+			// Remember the leaf that received the entry: the insertion
+			// buffer seeds its next descent from it (see insertbuf.go).
+			t.build.lastLeaf = n
+		}
 	} else {
 		idx := t.chooseSubtree(n, e.Rect)
 		child := n.Entries[idx].Child
@@ -68,6 +77,7 @@ func (t *Tree) insertRec(n *Node, e Entry, level int) (Entry, bool) {
 		n.Entries[idx].Rect = child.MBR()
 		if ok {
 			n.Entries = append(n.Entries, split)
+			t.maintEntries(n.Level, 1)
 		}
 	}
 	if len(n.Entries) > t.maxEnt {
@@ -210,6 +220,8 @@ func (t *Tree) forcedReinsert(n *Node) bool {
 	for _, d := range dists[p:] {
 		n.Entries = append(n.Entries, d.e)
 	}
+	t.maintEntries(n.Level, -p)
+	t.maintResample(n)
 	// Close reinsert: queue the removed entries ordered by increasing
 	// distance from the centre.
 	for i := len(removed) - 1; i >= 0; i-- {

@@ -1,0 +1,226 @@
+package rtree
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/zorder"
+)
+
+// Hilbert-buffered insertion.
+//
+// Dynamic R*-tree construction is CPU-bound in ChooseSubtree's
+// overlap-enlargement scan: every insert descends from the root and, at the
+// leaf-parent level, evaluates the overlap enlargement of up to 32 candidate
+// entries against all their siblings (O(candidates × fan-out) floating-point
+// work).  An arbitrary insertion order pays that full scan for every single
+// rectangle.
+//
+// The insertion buffer stages inserts, sorts each batch by the Hilbert key of
+// the rectangle centres — the same curve the Hilbert bulk loader and the
+// spatial join partitioner use — and applies them in curve order.  Spatially
+// consecutive inserts overwhelmingly land in the same leaf, so the buffer
+// seeds each insert from the leaf the previous one chose: while the staged
+// rectangle lies inside that leaf's MBR and the leaf has room, the entry is
+// appended directly — no directory rectangle grows (the rectangle is covered),
+// no node overflows (capacity was checked), so the tree's invariants are
+// untouched and the whole root-to-leaf descent with its overlap scan is
+// skipped.  This is the disk-resident update batching of EMBANKS-style
+// buffer trees reduced to its in-memory essence: buffer, order spatially,
+// apply in locality order.
+//
+// Buffered insertion produces a different (but equally valid) tree shape than
+// plain insertion order — exactly as any insertion order does.  The tree
+// passes the full structural validation and yields bit-identical join results
+// (insertbuf_test.go and the join-level identity tests pin both).  Plain
+// Insert is not changed in any way; the structural parity goldens of
+// parity_test.go keep guarding that.
+
+// DefaultInsertBufferCapacity is the batch size used when NewInsertBuffer is
+// given a non-positive capacity.  4096 staged rectangles sort in microseconds
+// and give the Hilbert order enough run length for the leaf hint to pay off.
+const DefaultInsertBufferCapacity = 4096
+
+// hintResampleEvery is how many hint hits pass between reservoir refreshes of
+// the hinted leaf: frequent enough that leaf shape statistics track long hint
+// runs (maintain_test.go bounds the drift), rare enough that the fast path
+// stays O(1) amortised — one O(fan-out) summary per 8 appends.
+const hintResampleEvery = 8
+
+// InsertBuffer stages inserts for one tree and applies them in Hilbert order.
+// It is not safe for concurrent use, mirroring the tree's mutation contract.
+// Mutating the tree directly between Stage and Flush is allowed: the buffer
+// detects the interleaved mutation through the tree's mutation counter and
+// drops its leaf hint instead of touching a node the mutation may have
+// dissolved.
+type InsertBuffer struct {
+	t        *Tree
+	capacity int
+
+	items []Item
+	keys  []uint64
+	order []int32
+	srt   hilbertOrderSorter
+
+	// Leaf hint: the leaf the previous applied insert landed in, its MBR, and
+	// the tree mutation epoch the hint was taken at.
+	hint      *Node
+	hintMBR   geom.Rect
+	hintEpoch int64
+
+	staged   int
+	applied  int
+	hintHits int
+	flushes  int
+}
+
+// NewInsertBuffer returns an insertion buffer over t that flushes
+// automatically whenever capacity rectangles are staged (capacity <= 0 means
+// DefaultInsertBufferCapacity).
+func NewInsertBuffer(t *Tree, capacity int) *InsertBuffer {
+	if capacity <= 0 {
+		capacity = DefaultInsertBufferCapacity
+	}
+	return &InsertBuffer{t: t, capacity: capacity}
+}
+
+// Stage adds one rectangle to the buffer, flushing if the batch is full.  The
+// rectangle is not visible in the tree until the flush that applies it.
+func (b *InsertBuffer) Stage(rect geom.Rect, data int32) {
+	b.items = append(b.items, Item{Rect: rect, Data: data})
+	b.staged++
+	if len(b.items) >= b.capacity {
+		b.Flush()
+	}
+}
+
+// Len returns the number of staged, not yet applied rectangles.
+func (b *InsertBuffer) Len() int { return len(b.items) }
+
+// Staged returns the total number of rectangles ever staged.
+func (b *InsertBuffer) Staged() int { return b.staged }
+
+// Applied returns the total number of rectangles applied to the tree.
+func (b *InsertBuffer) Applied() int { return b.applied }
+
+// HintHits returns how many applied inserts took the leaf-hint fast path
+// (appended to the previous insert's leaf without a root descent).
+func (b *InsertBuffer) HintHits() int { return b.hintHits }
+
+// Flushes returns how many batches have been applied.
+func (b *InsertBuffer) Flushes() int { return b.flushes }
+
+// Flush sorts the staged rectangles along the Hilbert curve of their centres
+// and applies every one of them to the tree (the apply order is a permutation
+// of the staged batch).  A flush of an empty buffer is a no-op.
+func (b *InsertBuffer) Flush() {
+	if len(b.items) == 0 {
+		return
+	}
+	// The curve is laid over the union of the staged rectangles and the
+	// tree's current bounds, so batch keys and tree geometry share one frame.
+	world := b.items[0].Rect
+	for _, it := range b.items[1:] {
+		world = world.Union(it.Rect)
+	}
+	if bounds, ok := b.t.Bounds(); ok {
+		world = world.Union(bounds)
+	}
+	b.keys = b.keys[:0]
+	b.order = b.order[:0]
+	for i, it := range b.items {
+		b.keys = append(b.keys, zorder.HilbertKey(it.Rect.Center(), world))
+		b.order = append(b.order, int32(i))
+	}
+	// Stable on the staging order, so equal keys keep a deterministic order.
+	b.srt.order, b.srt.keys = b.order, b.keys
+	sort.Stable(&b.srt)
+	b.srt.order, b.srt.keys = nil, nil
+	for _, i := range b.order {
+		b.applyOne(b.items[i])
+	}
+	b.items = b.items[:0]
+	b.flushes++
+}
+
+// applyOne inserts one rectangle, through the leaf-hint fast path when it
+// applies and through a full (hint-reseeding) descent otherwise.
+func (b *InsertBuffer) applyOne(it Item) {
+	t := b.t
+	b.applied++
+	if b.hint != nil && b.hintEpoch == t.muts && b.hint.Level == 0 &&
+		len(b.hint.Entries) > 0 && len(b.hint.Entries) < t.maxEnt &&
+		b.hintMBR.Contains(it.Rect) {
+		// The rectangle lies inside the hinted leaf's MBR and the leaf has
+		// room: appending it changes no directory rectangle (every ancestor
+		// already covers the leaf MBR) and overflows nothing, so the R-tree
+		// invariants hold without touching the path above the leaf.
+		b.hint.Entries = append(b.hint.Entries, Entry{Rect: it.Rect, Data: it.Data})
+		t.size++
+		t.muts++
+		t.maintEntries(0, 1)
+		b.hintEpoch = t.muts
+		b.hintHits++
+		if b.hintHits%hintResampleEvery == 0 {
+			// Long hint runs bypass the split path that normally refreshes
+			// leaf samples; an amortised resample keeps the reservoir's leaf
+			// shape statistics tracking the churn.
+			t.maintResample(b.hint)
+		}
+		t.invalidateCatalog()
+		return
+	}
+	t.Insert(it.Rect, it.Data)
+	// Seed the next insert from the leaf this one landed in.  The hint's MBR
+	// is computed once here; hint hits cannot change it (they only append
+	// covered rectangles) and any other mutation advances t.muts, which
+	// invalidates the hint wholesale.
+	b.hint = t.build.lastLeaf
+	if b.hint != nil {
+		b.hintMBR = b.hint.MBR()
+		// Refresh the leaf's reservoir sample while it is hot; an O(fan-out)
+		// summary against a full descent is noise, and it keeps the sampled
+		// statistics tracking churn-heavy workloads.
+		t.maintResample(b.hint)
+	}
+	b.hintEpoch = t.muts
+}
+
+// hilbertOrderSorter orders the index slice by ascending Hilbert key.
+type hilbertOrderSorter struct {
+	order []int32
+	keys  []uint64
+}
+
+func (s *hilbertOrderSorter) Len() int      { return len(s.order) }
+func (s *hilbertOrderSorter) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+func (s *hilbertOrderSorter) Less(i, j int) bool {
+	return s.keys[s.order[i]] < s.keys[s.order[j]]
+}
+
+// InsertItemsBuffered inserts all items through a Hilbert insertion buffer
+// sized to the whole batch (one sort, maximum run length).  It is the
+// update-heavy counterpart of InsertItems: same resulting contents, same
+// invariants, measurably less ChooseSubtree work.
+func (t *Tree) InsertItemsBuffered(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	b := NewInsertBuffer(t, len(items))
+	for _, it := range items {
+		b.Stage(it.Rect, it.Data)
+	}
+	b.Flush()
+}
+
+// BuildBuffered constructs a tree from items by Hilbert-buffered insertion:
+// a dynamically built tree (the paper's construction method, unlike the bulk
+// loaders' packing) at a fraction of the ChooseSubtree cost.
+func BuildBuffered(opts Options, items []Item) (*Tree, error) {
+	t, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	t.InsertItemsBuffered(items)
+	return t, nil
+}

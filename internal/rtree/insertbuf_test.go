@@ -1,0 +1,282 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+// treeContents returns the (rect, data) multiset of the tree's data entries,
+// sorted canonically.
+func treeContents(t *Tree) []Item {
+	var out []Item
+	t.Walk(func(n *Node) {
+		if !n.IsLeaf() {
+			return
+		}
+		for _, e := range n.Entries {
+			out = append(out, Item{Rect: e.Rect, Data: e.Data})
+		}
+	})
+	sortItems(out)
+	return out
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if a.Data != b.Data {
+			return a.Data < b.Data
+		}
+		if a.Rect.XL != b.Rect.XL {
+			return a.Rect.XL < b.Rect.XL
+		}
+		return a.Rect.YL < b.Rect.YL
+	})
+}
+
+func itemsEqual(a, b []Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Data != b[i].Data || !a[i].Rect.Equal(b[i].Rect) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestInsertBufferIsPermutation is the core property (testing/quick over the
+// batch size and seed): whatever order the buffer applies a staged batch in,
+// the resulting tree holds exactly the staged multiset, passes the full
+// structural validation, and reports consistent counters.
+func TestInsertBufferIsPermutation(t *testing.T) {
+	check := func(seed int64, n uint16, pageEights uint8) bool {
+		count := int(n%600) + 20
+		pageSize := (int(pageEights%3) + 1) * 8 * storage.EntrySize
+		rng := rand.New(rand.NewSource(seed))
+		items := randomItems(rng, count, 0.03)
+		tr := MustNew(Options{PageSize: pageSize})
+		buf := NewInsertBuffer(tr, 128)
+		for _, it := range items {
+			buf.Stage(it.Rect, it.Data)
+		}
+		buf.Flush()
+		if buf.Len() != 0 || buf.Applied() != count || buf.Staged() != count {
+			t.Logf("counters: len=%d applied=%d staged=%d want %d", buf.Len(), buf.Applied(), buf.Staged(), count)
+			return false
+		}
+		if tr.Len() != count {
+			t.Logf("tree holds %d entries, staged %d", tr.Len(), count)
+			return false
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		want := append([]Item(nil), items...)
+		sortItems(want)
+		if !itemsEqual(treeContents(tr), want) {
+			t.Log("tree contents are not the staged multiset")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertBufferAutoFlush: staging past the capacity flushes automatically.
+func TestInsertBufferAutoFlush(t *testing.T) {
+	tr := MustNew(Options{PageSize: storage.PageSize1K})
+	buf := NewInsertBuffer(tr, 8)
+	rng := rand.New(rand.NewSource(3))
+	for i, it := range randomItems(rng, 20, 0.02) {
+		buf.Stage(it.Rect, it.Data)
+		if buf.Len() >= 8 {
+			t.Fatalf("buffer holds %d items after stage %d, capacity 8", buf.Len(), i)
+		}
+	}
+	if buf.Flushes() != 2 || tr.Len() != 16 {
+		t.Fatalf("flushes=%d treeLen=%d, want 2 auto-flushes of 8", buf.Flushes(), tr.Len())
+	}
+	buf.Flush()
+	if tr.Len() != 20 || buf.Len() != 0 {
+		t.Fatalf("after final flush: treeLen=%d buffered=%d", tr.Len(), buf.Len())
+	}
+}
+
+// TestInsertBufferHintHits: a spatially coherent batch must actually take the
+// leaf-hint fast path — that is the whole point of the Hilbert ordering.
+func TestInsertBufferHintHits(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randomItems(rng, 4000, 0.002)
+	tr := MustNew(Options{PageSize: storage.PageSize1K})
+	tr.InsertItemsBuffered(items)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// InsertItemsBuffered hides its buffer; measure with an explicit one.
+	tr2 := MustNew(Options{PageSize: storage.PageSize1K})
+	buf := NewInsertBuffer(tr2, len(items))
+	for _, it := range items {
+		buf.Stage(it.Rect, it.Data)
+	}
+	buf.Flush()
+	if buf.HintHits() == 0 {
+		t.Fatal("no insert took the leaf-hint fast path on a Hilbert-sorted batch")
+	}
+	rate := float64(buf.HintHits()) / float64(buf.Applied())
+	t.Logf("hint hit rate: %.2f (%d/%d)", rate, buf.HintHits(), buf.Applied())
+	if rate < 0.10 {
+		t.Errorf("hint hit rate %.2f below 10%%; the Hilbert order is not buying locality", rate)
+	}
+}
+
+// TestInsertBufferSurvivesInterleavedMutations: direct tree mutations between
+// flushes (including deletes that dissolve the hinted leaf) must not corrupt
+// the tree — the mutation-epoch guard has to drop the stale hint.
+func TestInsertBufferSurvivesInterleavedMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := MustNew(Options{PageSize: 8 * storage.EntrySize})
+	buf := NewInsertBuffer(tr, 32)
+	var live []Item
+	next := int32(0)
+	for round := 0; round < 60; round++ {
+		for i := 0; i < 24; i++ {
+			it := randomItem(rng, next)
+			next++
+			buf.Stage(it.Rect, it.Data)
+			live = append(live, it)
+		}
+		buf.Flush()
+		// Aggressive interleaved deletes: enough to dissolve leaves (and with
+		// a small page, often the one the buffer's hint points at).
+		for i := 0; i < 16 && len(live) > 8; i++ {
+			j := rng.Intn(len(live))
+			it := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if !tr.Delete(it.Rect, it.Data) {
+				t.Fatalf("round %d: delete of live item failed", round)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("round %d: tree holds %d, want %d", round, tr.Len(), len(live))
+		}
+	}
+	want := append([]Item(nil), live...)
+	sortItems(want)
+	if !itemsEqual(treeContents(tr), want) {
+		t.Fatal("tree contents diverged from the live set")
+	}
+}
+
+// FuzzInsertBuffer drives a mixed op stream (stage / flush / plain insert /
+// delete) decoded from fuzz bytes and checks the invariants, the contents and
+// the maintained catalog after every flush boundary.
+func FuzzInsertBuffer(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2, 3, 0, 0, 4, 5})
+	f.Add(int64(42), []byte{2, 2, 2, 1, 0, 3, 3, 3, 3, 1})
+	f.Add(int64(7), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		tr := MustNew(Options{PageSize: 8 * storage.EntrySize})
+		buf := NewInsertBuffer(tr, 16)
+		var live, staged []Item
+		next := int32(0)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // stage
+				it := randomItem(rng, next)
+				next++
+				staged = append(staged, it)
+				buf.Stage(it.Rect, it.Data)
+				if buf.Len() == 0 { // auto-flush fired
+					live = append(live, staged...)
+					staged = staged[:0]
+				}
+			case 1: // flush
+				buf.Flush()
+				live = append(live, staged...)
+				staged = staged[:0]
+			case 2: // plain insert, bypassing the buffer
+				it := randomItem(rng, next)
+				next++
+				tr.Insert(it.Rect, it.Data)
+				live = append(live, it)
+			default: // delete a live item
+				if len(live) == 0 {
+					continue
+				}
+				j := rng.Intn(len(live))
+				it := live[j]
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if !tr.Delete(it.Rect, it.Data) {
+					t.Fatal("delete of live item failed")
+				}
+			}
+		}
+		buf.Flush()
+		live = append(live, staged...)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("tree holds %d, want %d", tr.Len(), len(live))
+		}
+		want := append([]Item(nil), live...)
+		sortItems(want)
+		if !itemsEqual(treeContents(tr), want) {
+			t.Fatal("tree contents diverged from the op stream")
+		}
+		// Maintained catalog stays exact and walk-free through it all.
+		cat := tr.CatalogStats()
+		if got := tr.CatalogRecollections(); got != 0 {
+			t.Fatalf("%d recollection walks, want 0", got)
+		}
+		nodes, entries := walkPopulations(tr)
+		if tr.Len() > 0 {
+			for l, stat := range cat.Levels {
+				if stat.Nodes != nodes[l] || stat.Entries != entries[l] {
+					t.Fatalf("level %d: maintained %d/%d, walk %d/%d",
+						l, stat.Nodes, stat.Entries, nodes[l], entries[l])
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkInsertBuffered compares plain dynamic insertion with the
+// Hilbert-buffered path at the package level (the end-to-end build benchmark
+// lives in the repo root's bench_test.go).
+func BenchmarkInsertBuffered(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	items := randomItems(rng, 10000, 0.01)
+	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := MustNew(Options{PageSize: storage.PageSize2K})
+			tr.InsertItems(items)
+		}
+	})
+	b.Run("hilbert-buffered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := MustNew(Options{PageSize: storage.PageSize2K})
+			tr.InsertItemsBuffered(items)
+		}
+	})
+}

@@ -69,6 +69,10 @@ func Load(f *storage.PageFile, root storage.PageID, opts Options) (*Tree, error)
 	t.root = node
 	t.height = node.Level + 1
 	t.size = size
+	// Initialise the maintained catalog statistics with one sampling walk;
+	// loading already visited every page, so this keeps CatalogStats walk-free
+	// for the lifetime of the loaded tree.
+	t.adoptWalkSampler()
 	return t, nil
 }
 

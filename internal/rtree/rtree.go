@@ -151,7 +151,11 @@ type Tree struct {
 	size    int // number of data entries
 	file    *storage.PageFile
 	build   buildArena   // reusable construction scratch (see arena.go)
-	catalog catalogCache // sampled catalog statistics (see sample.go)
+	catalog catalogCache // maintained catalog statistics (see sample.go)
+	// muts counts structural mutations (inserts, deletes, buffered appends);
+	// the insertion buffer's leaf hint uses it to detect that the tree changed
+	// underneath a cached leaf pointer (see insertbuf.go).
+	muts int64
 }
 
 type pendingEntry struct {
@@ -185,6 +189,8 @@ func New(opts Options) (*Tree, error) {
 		height: 1,
 	}
 	t.root = t.newNode(0)
+	t.initCatalogMaintenance()
+	t.maintAddNode(t.root)
 	return t, nil
 }
 

@@ -93,6 +93,26 @@ func BuildRTree(opts RTreeOptions, items []Item, bulk bool) (*RTree, error) {
 	return rtree.Build(opts, items, bulk)
 }
 
+// RTreeInsertBuffer stages inserts for one tree and applies each batch in
+// Hilbert order, seeding every insert from the previous insert's leaf so
+// spatially consecutive rectangles skip the ChooseSubtree descent (the
+// update-heavy construction path; see DESIGN.md).
+type RTreeInsertBuffer = rtree.InsertBuffer
+
+// NewRTreeInsertBuffer returns an insertion buffer over t that flushes
+// automatically every capacity staged rectangles (capacity <= 0 selects the
+// default batch size).
+func NewRTreeInsertBuffer(t *RTree, capacity int) *RTreeInsertBuffer {
+	return rtree.NewInsertBuffer(t, capacity)
+}
+
+// BuildRTreeBuffered builds a dynamically inserted tree through a Hilbert
+// insertion buffer sized to the whole batch: same construction method as
+// repeated insertion, measurably less ChooseSubtree work.
+func BuildRTreeBuffered(opts RTreeOptions, items []Item) (*RTree, error) {
+	return rtree.BuildBuffered(opts, items)
+}
+
 // Spatial join of two R-trees (the filter step, the paper's core subject).
 type (
 	// JoinMethod selects one of the paper's algorithms.

@@ -95,6 +95,46 @@ func TestFacadeStealingJoinAndCatalogStats(t *testing.T) {
 	}
 }
 
+func TestFacadeBufferedInsertion(t *testing.T) {
+	items := GenerateDataset(DatasetConfig{Kind: Streets, Count: 3000, Seed: 12})
+	buffered, err := BuildRTreeBuffered(RTreeOptions{PageSize: PageSize1K}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buffered.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if buffered.Len() != len(items) {
+		t.Fatalf("buffered build holds %d entries, want %d", buffered.Len(), len(items))
+	}
+	// Streaming updates through an explicit buffer, interleaved with deletes.
+	tr, err := NewRTree(RTreeOptions{PageSize: PageSize1K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := NewRTreeInsertBuffer(tr, 256)
+	for _, it := range items {
+		buf.Stage(it.Rect, it.Data)
+	}
+	buf.Flush()
+	for _, it := range items[:500] {
+		if !tr.Delete(it.Rect, it.Data) {
+			t.Fatalf("delete of %d failed", it.Data)
+		}
+	}
+	if tr.Len() != len(items)-500 {
+		t.Fatalf("tree holds %d entries after deletes, want %d", tr.Len(), len(items)-500)
+	}
+	// Incremental catalog maintenance keeps CatalogStats walk-free through
+	// the whole update sequence.
+	if cat := tr.CatalogStats(); !cat.Valid() || cat.DataEntries() != int64(tr.Len()) {
+		t.Fatalf("catalog stats stale after updates: %+v", cat)
+	}
+	if walks := tr.CatalogRecollections(); walks != 0 {
+		t.Fatalf("CatalogStats performed %d recollection walks, want 0", walks)
+	}
+}
+
 func TestFacadeWindowQuery(t *testing.T) {
 	items := GenerateDataset(DatasetConfig{Kind: Streets, Count: 2000, Seed: 3})
 	tree, err := BuildRTree(RTreeOptions{PageSize: PageSize2K, Variant: RStar}, items, false)

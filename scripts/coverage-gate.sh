@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# coverage-gate.sh <package-path> <profile-out> <min-percent>
+# Runs the package's tests with a coverage profile and fails when total
+# statement coverage is below the gate.  Shared by the per-package race jobs
+# in .github/workflows/ci.yml so the gate logic cannot drift between them.
+set -euo pipefail
+
+pkg=$1
+profile=$2
+gate=$3
+
+go test -coverprofile="$profile" "$pkg"
+go tool cover -func="$profile" | tail -1
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+awk -v t="$total" -v g="$gate" 'BEGIN { if (t+0 < g+0) { print "coverage " t "% is below the " g "% gate"; exit 1 } }'
