@@ -38,6 +38,8 @@ func run(args []string, out io.Writer) error {
 		bulk     = fs.Bool("bulk", false, "build trees with STR bulk loading instead of insertion")
 		parallel = fs.Bool("parallel", false, "run only the parallel load-balance experiment (extension)")
 		updates  = fs.Bool("updates", false, "run only the update-heavy workload experiment (extension)")
+		disk     = fs.Bool("disk", false, "run only the measured-I/O disk experiments on real files (extension)")
+		recovery = fs.Bool("recovery", false, "run only the crash-recovery property harness (extension)")
 		pages    = fs.String("pages", "", "comma-separated page sizes in bytes (default 1024,2048,4096,8192)")
 		buffers  = fs.String("buffers", "", "comma-separated LRU buffer sizes in KByte (default 0,8,32,128,512)")
 	)
@@ -61,6 +63,21 @@ func run(args []string, out io.Writer) error {
 
 	suite := repro.NewExperimentSuite(cfg)
 	switch {
+	case *disk:
+		dir, err := os.MkdirTemp("", "repro-disk-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		experiments.PrintTableDiskIO(out, suite.TableDiskIO(storage.OSVFS{}, dir))
+		fmt.Fprintln(out)
+		experiments.PrintTableDiskUpdates(out, suite.TableDiskUpdates(storage.OSVFS{}, dir))
+	case *recovery:
+		report := experiments.RunRecoveryHarness(experiments.RecoveryConfig{})
+		experiments.PrintRecoveryReport(out, report)
+		if !report.Ok() {
+			return fmt.Errorf("crash-recovery harness failed (%d violations)", len(report.Failures))
+		}
 	case *updates:
 		experiments.PrintTableUpdates(out, suite.TableUpdates())
 	case *parallel:

@@ -1,6 +1,8 @@
 package buffer
 
 import (
+	"errors"
+
 	"testing"
 
 	"repro/internal/metrics"
@@ -252,4 +254,64 @@ func TestTrackerNilLRU(t *testing.T) {
 		t.Fatal("nil LRU must be replaced by an empty buffer")
 	}
 	tr.Access(0, 0, 1)
+}
+
+// stubReader records the pages it was asked to read and fails on demand.
+type stubReader struct {
+	reads []storage.PageID
+	fail  error
+}
+
+func (r *stubReader) ReadPage(id storage.PageID) ([]byte, error) {
+	r.reads = append(r.reads, id)
+	return nil, r.fail
+}
+
+// TestTrackerPageReaderMirrorsCountedMisses pins the measured-I/O hook: an
+// attached PageReader is invoked exactly once per counted disk read (never on
+// a buffer hit), and a read failure is latched and surfaced through ReadErr
+// instead of being swallowed mid-join.
+func TestTrackerPageReaderMirrorsCountedMisses(t *testing.T) {
+	m := metrics.NewCollector()
+	tr := NewTracker(NewLRU(10), m, 1024, false)
+	r := &stubReader{}
+	tr.SetPageReader(1, r)
+
+	tr.Access(1, 0, 7) // miss: physical read
+	tr.Access(1, 0, 7) // LRU hit: no read
+	tr.Access(1, 0, 8) // miss: physical read
+	tr.Access(2, 0, 9) // other tree, no reader attached
+	if len(r.reads) != 2 || r.reads[0] != 7 || r.reads[1] != 8 {
+		t.Fatalf("reader saw %v, want [7 8]", r.reads)
+	}
+	if got := m.Snapshot().DiskReads; got != 3 {
+		t.Fatalf("counted %d disk reads, want 3", got)
+	}
+	if err := tr.ReadErr(); err != nil {
+		t.Fatalf("ReadErr: %v", err)
+	}
+
+	// Detaching stops the mirroring.
+	tr.SetPageReader(1, nil)
+	tr.Access(1, 0, 10)
+	if len(r.reads) != 2 {
+		t.Fatalf("detached reader still called: %v", r.reads)
+	}
+
+	// A failing read is latched: the tracker keeps counting, but the error
+	// stays visible until Reconfigure.
+	fail := &stubReader{fail: storage.ErrReadExhausted}
+	tr.SetPageReader(1, fail)
+	tr.Access(1, 0, 11)
+	tr.Access(1, 0, 12)
+	if err := tr.ReadErr(); !errors.Is(err, storage.ErrReadExhausted) {
+		t.Fatalf("ReadErr after failure: %v", err)
+	}
+	if len(fail.reads) != 1 {
+		t.Fatalf("reader called %d times after a latched error, want 1", len(fail.reads))
+	}
+	tr.Reconfigure(m, 1024, false)
+	if err := tr.ReadErr(); err != nil {
+		t.Fatalf("Reconfigure did not clear the latched error: %v", err)
+	}
 }

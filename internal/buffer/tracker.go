@@ -17,6 +17,16 @@ type Tracker struct {
 	pageSize int
 	usePath  bool
 	paths    map[int]*PathBuffer
+	readers  map[int]PageReader
+	readErr  error
+}
+
+// PageReader is the measured-I/O hook: when a tree has one attached, every
+// counted disk access also performs a real page read against it, so the
+// simulation's counted I/O and the pager's measured I/O describe the same
+// run.  storage.Pager implements the contract through rtree.TreeStore.
+type PageReader interface {
+	ReadPage(id storage.PageID) ([]byte, error)
 }
 
 // NewTracker creates a tracker that charges accesses to m.  pageSize is used
@@ -73,9 +83,35 @@ func (t *Tracker) Access(tree, level int, id storage.PageID) bool {
 		return true
 	}
 	t.metrics.AddDiskRead(int64(t.pageSize))
+	if r, ok := t.readers[tree]; ok && t.readErr == nil {
+		// Counted miss = real read: the page leaves the disk exactly when the
+		// simulation says it does.  A read failure (torn page, dead sector
+		// after retries) is latched and surfaced by the join, not swallowed.
+		if _, err := r.ReadPage(id); err != nil {
+			t.readErr = err
+		}
+	}
 	t.lru.Insert(key)
 	return false
 }
+
+// SetPageReader attaches a real page source for the given tree; pass nil to
+// detach.  While attached, every counted disk read of that tree performs a
+// physical read through it.
+func (t *Tracker) SetPageReader(tree int, r PageReader) {
+	if t.readers == nil {
+		t.readers = make(map[int]PageReader)
+	}
+	if r == nil {
+		delete(t.readers, tree)
+		return
+	}
+	t.readers[tree] = r
+}
+
+// ReadErr returns the first physical read error encountered through an
+// attached PageReader, or nil.
+func (t *Tracker) ReadErr() error { return t.readErr }
 
 // Pin keeps the page of the given tree in the LRU buffer until Unpin.
 func (t *Tracker) Pin(tree int, id storage.PageID) {
@@ -105,4 +141,6 @@ func (t *Tracker) Reconfigure(m *metrics.Collector, pageSize int, usePathBuffer 
 	t.pageSize = pageSize
 	t.usePath = usePathBuffer
 	clear(t.paths)
+	clear(t.readers)
+	t.readErr = nil
 }

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestTableDiskIOMeasuredEqualsCounted pins the core claim of the measured
+// I/O mode: with a cold LRU, the simulation's counted disk reads and the
+// pager's physical frame reads are the same number — the cost model counts
+// exactly the pages that leave the disk.
+func TestTableDiskIOMeasuredEqualsCounted(t *testing.T) {
+	s := NewSuite(Config{Scale: 0.02})
+	rows := s.TableDiskIO(storage.NewMemVFS(), "")
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	pairs := rows[0].Pairs
+	for _, row := range rows {
+		if row.MeasuredReads != row.CountedReads {
+			t.Errorf("%v buffer %dKB: measured %d reads, counted %d",
+				row.Method, row.BufferKB, row.MeasuredReads, row.CountedReads)
+		}
+		if row.Pairs != pairs {
+			t.Errorf("%v buffer %dKB: %d pairs, other methods found %d",
+				row.Method, row.BufferKB, row.Pairs, pairs)
+		}
+		if row.CountedReads == 0 {
+			t.Errorf("%v buffer %dKB: no disk reads counted", row.Method, row.BufferKB)
+		}
+		wantBytes := row.MeasuredReads * int64(DiskPageSize+8)
+		if row.MeasuredBytes != wantBytes {
+			t.Errorf("%v buffer %dKB: %d bytes read, want %d (frame = page + 8-byte header)",
+				row.Method, row.BufferKB, row.MeasuredBytes, wantBytes)
+		}
+	}
+}
+
+// TestTableDiskUpdatesIncremental pins the page economy of the durable
+// update rounds: commits write only changed pages, keep the untouched
+// majority clean, recycle freed pages, and the verification join still reads
+// physically what the simulation counts.
+func TestTableDiskUpdatesIncremental(t *testing.T) {
+	s := NewSuite(Config{Scale: 0.02})
+	rows := s.TableDiskUpdates(storage.NewMemVFS(), "")
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	reused := int64(0)
+	for _, row := range rows {
+		if row.MeasuredReads != row.CountedReads {
+			t.Errorf("round %d: measured %d reads, counted %d",
+				row.Round, row.MeasuredReads, row.CountedReads)
+		}
+		if row.PagesClean == 0 {
+			t.Errorf("round %d: incremental commit kept no page clean", row.Round)
+		}
+		if row.PagesWritten == 0 || row.WALBytes == 0 {
+			t.Errorf("round %d: commit wrote nothing (pages %d, WAL bytes %d)",
+				row.Round, row.PagesWritten, row.WALBytes)
+		}
+		reused += row.PagesReused
+	}
+	if reused == 0 {
+		t.Error("no round reused a freed page: the free list never fed Allocate")
+	}
+}

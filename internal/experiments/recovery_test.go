@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestCrashRecoveryHarness is the acceptance property of the durable pager:
+// a power cut at every file operation of an insert/delete/join workload must
+// recover to a committed, validated tree whose SJ1-SJ5 join results are
+// bit-identical to the clean run's record.  The full run enumerates every
+// operation (several hundred crash points); -short strides the enumeration
+// down to a smoke test.
+func TestCrashRecoveryHarness(t *testing.T) {
+	cfg := RecoveryConfig{}
+	minPoints := 200
+	if testing.Short() {
+		cfg = RecoveryConfig{Items: 300, SItems: 200, Rounds: 4, Stride: 3}
+		minPoints = 20
+	}
+	report := RunRecoveryHarness(cfg)
+	for _, f := range report.Failures {
+		t.Errorf("%s", f)
+	}
+	if report.CrashPoints < minPoints {
+		t.Errorf("only %d crash points enumerated, want at least %d (total ops %d)",
+			report.CrashPoints, minPoints, report.TotalOps)
+	}
+	if report.Recovered != report.CrashPoints-len(report.Failures) {
+		t.Errorf("recovered %d of %d crash points", report.Recovered, report.CrashPoints)
+	}
+	if report.Commits < 3 {
+		t.Errorf("clean run committed only %d transactions", report.Commits)
+	}
+	if report.ReplayedTxns == 0 {
+		t.Errorf("no crash point exercised WAL replay (replayed transactions = 0)")
+	}
+	if report.EmptyRecoveries == 0 {
+		t.Errorf("no crash point hit the pre-first-commit window")
+	}
+	t.Logf("commits=%d ops=%d crash points=%d recovered=%d empty=%d replayed txns=%d",
+		report.Commits, report.TotalOps, report.CrashPoints, report.Recovered,
+		report.EmptyRecoveries, report.ReplayedTxns)
+}

@@ -140,6 +140,13 @@ type Options struct {
 	// OnPair, if non-nil, is called for every result pair in the order the
 	// algorithm produces them (before any materialisation).
 	OnPair func(Pair)
+	// PageReaderR and PageReaderS attach real page sources for the two trees
+	// (keyed by their node identifiers, as rtree.TreeStore serves them).
+	// When set, every counted disk read of the sequential join also performs
+	// a physical page read — the measured-I/O mode of the disk experiments.
+	// A physical read failure aborts the join with the wrapped error.
+	PageReaderR buffer.PageReader
+	PageReaderS buffer.PageReader
 }
 
 // Result is the outcome of a join.
@@ -322,6 +329,12 @@ func Join(r, s *rtree.Tree, opts Options) (*Result, error) {
 
 	lru := buffer.NewLRUForBytes(opts.BufferBytes, r.PageSize())
 	tracker := buffer.NewTracker(lru, collector, r.PageSize(), opts.UsePathBuffer)
+	if opts.PageReaderR != nil {
+		tracker.SetPageReader(r.ID(), opts.PageReaderR)
+	}
+	if opts.PageReaderS != nil {
+		tracker.SetPageReader(s.ID(), opts.PageReaderS)
+	}
 
 	ar := arenaPool.Get().(*arena)
 	e := &executor{
@@ -353,6 +366,9 @@ func Join(r, s *rtree.Tree, opts Options) (*Result, error) {
 	e.local.FlushTo(collector)
 	arenaPool.Put(ar)
 
+	if err := tracker.ReadErr(); err != nil {
+		return nil, fmt.Errorf("join: physical page read failed: %w", err)
+	}
 	res := &Result{Method: opts.Method, Pairs: e.pairs, Count: e.count}
 	res.Metrics = collector.Snapshot().Sub(before)
 	return res, nil

@@ -41,6 +41,14 @@ import (
 // and give the Hilbert order enough run length for the leaf hint to pay off.
 const DefaultInsertBufferCapacity = 4096
 
+// DefaultHintFillPercent caps how full the leaf-hint fast path packs a leaf,
+// as a percentage of the page capacity.  Appending up to the raw capacity
+// packs hint-run leaves to 100%, so the very next insert or a later update in
+// that region forces an immediate split — the same reason the bulk loaders
+// stop at BulkLoadFill.  90% matches BulkLoadFill and leaves every hint-built
+// leaf the same headroom a packed leaf gets.
+const DefaultHintFillPercent = 90
+
 // hintResampleEvery is how many hint hits pass between reservoir refreshes of
 // the hinted leaf: frequent enough that leaf shape statistics track long hint
 // runs (maintain_test.go bounds the drift), rare enough that the fast path
@@ -56,6 +64,7 @@ const hintResampleEvery = 8
 type InsertBuffer struct {
 	t        *Tree
 	capacity int
+	hintFill int // max entries the fast path fills a leaf to
 
 	items []Item
 	keys  []uint64
@@ -81,7 +90,28 @@ func NewInsertBuffer(t *Tree, capacity int) *InsertBuffer {
 	if capacity <= 0 {
 		capacity = DefaultInsertBufferCapacity
 	}
-	return &InsertBuffer{t: t, capacity: capacity}
+	b := &InsertBuffer{t: t, capacity: capacity}
+	b.SetHintFillPercent(DefaultHintFillPercent)
+	return b
+}
+
+// SetHintFillPercent sets how full (in percent of the page capacity) the
+// leaf-hint fast path may pack a leaf before falling back to a full descent.
+// Values outside [50, 100] are clamped; the result never drops below the
+// tree's minimum fill, so the fast path always leaves a structurally valid
+// leaf behind.
+func (b *InsertBuffer) SetHintFillPercent(pct int) {
+	if pct < 50 {
+		pct = 50
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	fill := b.t.maxEnt * pct / 100
+	if fill < b.t.minEnt {
+		fill = b.t.minEnt
+	}
+	b.hintFill = fill
 }
 
 // Stage adds one rectangle to the buffer, flushing if the batch is full.  The
@@ -149,7 +179,7 @@ func (b *InsertBuffer) applyOne(it Item) {
 	t := b.t
 	b.applied++
 	if b.hint != nil && b.hintEpoch == t.muts && b.hint.Level == 0 &&
-		len(b.hint.Entries) > 0 && len(b.hint.Entries) < t.maxEnt &&
+		len(b.hint.Entries) > 0 && len(b.hint.Entries) < b.hintFill &&
 		b.hintMBR.Contains(it.Rect) {
 		// The rectangle lies inside the hinted leaf's MBR and the leaf has
 		// room: appending it changes no directory rectangle (every ancestor

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/geom"
 	"repro/internal/storage"
 )
 
@@ -279,4 +280,61 @@ func BenchmarkInsertBuffered(b *testing.B) {
 			tr.InsertItemsBuffered(items)
 		}
 	})
+}
+
+// TestInsertBufferHintFillTarget pins the configurable fill target of the
+// leaf-hint fast path: the hint appends into a leaf only while it holds
+// fewer than hintFill entries, so a lower target hands more inserts to the
+// full descent, and out-of-range percentages are clamped to [50, 100].
+func TestInsertBufferHintFillTarget(t *testing.T) {
+	opts := smallOpts(RStar) // capacity M = 8, m = 3
+	rect := geom.Rect{XL: 0.4, YL: 0.4, XU: 0.6, YU: 0.6}
+
+	run := func(pct, n int) (*Tree, *InsertBuffer) {
+		tr := MustNew(opts)
+		b := NewInsertBuffer(tr, n)
+		b.SetHintFillPercent(pct)
+		for i := 0; i < n; i++ {
+			// Identical rectangles: after the first full descent seeds the
+			// hint, every later insert is covered by the hinted leaf's MBR, so
+			// only the fill target decides when the fast path stops.
+			b.Stage(rect, int32(i))
+		}
+		b.Flush()
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("pct %d: %v", pct, err)
+		}
+		return tr, b
+	}
+
+	// At 100% the fast path packs the leaf to capacity: first insert
+	// descends, the remaining M-1 are hint hits.
+	if _, b := run(100, 8); b.HintHits() != 7 {
+		t.Errorf("100%% fill: %d hint hits, want 7", b.HintHits())
+	}
+	// At the default 90% (fill 7 of 8) the eighth insert must leave the fast
+	// path and take a full descent.
+	if _, b := run(DefaultHintFillPercent, 8); b.HintHits() != 6 {
+		t.Errorf("90%% fill: %d hint hits, want 6", b.HintHits())
+	}
+	// At 50% (fill 4) only three inserts ride the hint.
+	if _, b := run(50, 8); b.HintHits() != 3 {
+		t.Errorf("50%% fill: %d hint hits, want 3", b.HintHits())
+	}
+
+	// Clamping: out-of-range percentages behave as the nearest bound.
+	tr := MustNew(opts)
+	b := NewInsertBuffer(tr, 1)
+	b.SetHintFillPercent(10)
+	if b.hintFill != tr.maxEnt*50/100 {
+		t.Errorf("pct 10 clamps to 50%%: hintFill = %d", b.hintFill)
+	}
+	b.SetHintFillPercent(300)
+	if b.hintFill != tr.maxEnt {
+		t.Errorf("pct 300 clamps to 100%%: hintFill = %d", b.hintFill)
+	}
+	// The target never drops below the tree's minimum fill.
+	if b.SetHintFillPercent(50); b.hintFill < tr.minEnt {
+		t.Errorf("hintFill %d below minimum fill %d", b.hintFill, tr.minEnt)
+	}
 }

@@ -6,14 +6,16 @@ import (
 	"repro/internal/storage"
 )
 
-// Save serialises every node of the tree into the given page file using the
+// Save serialises every node of the tree into the given node store using the
 // on-disk layout of internal/storage and returns the page identifier of the
 // root.  Directory entries reference their child's page identifier; data
-// entries carry the object identifier.
+// entries carry the object identifier.  The store may be the in-memory
+// PageFile or the durable Pager — Save only stages pages; durability is the
+// store's concern (commit a Pager afterwards).
 //
 // Save demonstrates that every node fits its page; it returns an error
 // otherwise, which would indicate a capacity-accounting bug.
-func (t *Tree) Save(f *storage.PageFile) (storage.PageID, error) {
+func (t *Tree) Save(f storage.NodeStore) (storage.PageID, error) {
 	if f.PageSize() != t.opts.PageSize {
 		return storage.InvalidPage, fmt.Errorf("rtree: page file size %d does not match tree page size %d",
 			f.PageSize(), t.opts.PageSize)
@@ -53,7 +55,14 @@ func (t *Tree) Save(f *storage.PageFile) (storage.PageID, error) {
 
 // Load reconstructs a tree previously stored with Save.  opts must carry the
 // same page size the tree was saved with.
-func Load(f *storage.PageFile, root storage.PageID, opts Options) (*Tree, error) {
+//
+// Load never trusts the pages it reads: a decode failure is an error, a page
+// referenced twice is an error, and a child whose stored level does not sit
+// exactly one below its parent is an error.  Together these bound the
+// recursion by the root's level and make Load terminate on any input —
+// corrupted or adversarial page graphs (cycles, diamonds, level loops)
+// produce a wrapped error, never a crash or an endless walk.
+func Load(f storage.NodeStore, root storage.PageID, opts Options) (*Tree, error) {
 	t, err := New(opts)
 	if err != nil {
 		return nil, err
@@ -62,7 +71,8 @@ func Load(f *storage.PageFile, root storage.PageID, opts Options) (*Tree, error)
 		return nil, fmt.Errorf("rtree: page file size %d does not match options page size %d",
 			f.PageSize(), t.opts.PageSize)
 	}
-	node, size, err := t.loadNode(f, root)
+	visited := make(map[storage.PageID]bool)
+	node, size, err := t.loadNode(f, root, -1, visited)
 	if err != nil {
 		return nil, err
 	}
@@ -77,8 +87,17 @@ func Load(f *storage.PageFile, root storage.PageID, opts Options) (*Tree, error)
 }
 
 // loadNode reads the page with the given id, decodes it and recursively loads
-// its children.  It returns the node and the number of data entries below it.
-func (t *Tree) loadNode(f *storage.PageFile, id storage.PageID) (*Node, int, error) {
+// its children.  wantLevel is the level the parent expects (-1 for the root,
+// whose level is read from its page); visited holds every page id already on
+// or below the walked path, so a cycle or shared subtree is detected the
+// moment it is re-entered.  It returns the node and the number of data
+// entries below it.
+func (t *Tree) loadNode(f storage.NodeStore, id storage.PageID, wantLevel int, visited map[storage.PageID]bool) (*Node, int, error) {
+	if visited[id] {
+		return nil, 0, fmt.Errorf("rtree: page %d referenced twice (cycle or shared subtree): %w",
+			id, storage.ErrCorruptPage)
+	}
+	visited[id] = true
 	buf, err := f.Read(id)
 	if err != nil {
 		return nil, 0, fmt.Errorf("rtree: reading page %d: %w", id, err)
@@ -86,6 +105,10 @@ func (t *Tree) loadNode(f *storage.PageFile, id storage.PageID) (*Node, int, err
 	dn, err := storage.DecodeNode(buf, t.opts.PageSize)
 	if err != nil {
 		return nil, 0, fmt.Errorf("rtree: decoding page %d: %w", id, err)
+	}
+	if wantLevel >= 0 && int(dn.Level) != wantLevel {
+		return nil, 0, fmt.Errorf("rtree: page %d stores level %d, parent expects %d: %w",
+			id, dn.Level, wantLevel, storage.ErrCorruptPage)
 	}
 	n := t.newNode(int(dn.Level))
 	if dn.Level == 0 {
@@ -96,7 +119,7 @@ func (t *Tree) loadNode(f *storage.PageFile, id storage.PageID) (*Node, int, err
 	}
 	total := 0
 	for _, de := range dn.Entries {
-		child, sub, err := t.loadNode(f, storage.PageID(de.Ref))
+		child, sub, err := t.loadNode(f, storage.PageID(de.Ref), int(dn.Level)-1, visited)
 		if err != nil {
 			return nil, 0, err
 		}

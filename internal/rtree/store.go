@@ -1,0 +1,218 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// TreeStore binds a Tree to a durable storage.Pager and keeps the two in sync
+// incrementally: Commit re-encodes the tree, writes only the pages whose
+// bytes actually changed since the last commit (detected by checksum), frees
+// the pages of dissolved nodes into the pager's free list, and seals
+// everything as one pager transaction.  A crash at any moment therefore
+// leaves the pager at the last committed tree state, recoverable by
+// OpenTreeStore.
+//
+// TreeStore also implements the buffer tracker's PageReader contract: it
+// translates the tree's node identifiers (which the join's counted I/O is
+// keyed by) to the pager's page identifiers and performs the physical read,
+// so counted and measured I/O describe the same pages.
+//
+// TreeStore is not safe for concurrent mutation, mirroring the tree's own
+// contract; concurrent ReadPage calls (parallel joins) are safe once no
+// commit is in flight.
+type TreeStore struct {
+	t *Tree
+	p *storage.Pager
+
+	byNode map[storage.PageID]storage.PageID // node id -> pager page
+	owner  map[storage.PageID]storage.PageID // pager page -> node id
+	crcs   map[storage.PageID]uint32         // pager page -> checksum of last written payload
+}
+
+// CommitStats describes one TreeStore commit.
+type CommitStats struct {
+	Seq          uint64         // pager sequence number of the transaction
+	Root         storage.PageID // pager page of the tree root
+	PagesWritten int            // pages whose bytes changed (or are new)
+	PagesClean   int            // live pages skipped because their bytes were unchanged
+	PagesFreed   int            // pages of dissolved nodes returned to the free list
+}
+
+// NewTreeStore binds t to p.  The pager must be empty of tree pages for this
+// tree (a fresh pager, or one whose previous contents are being abandoned);
+// use OpenTreeStore to resume from a pager that already holds a tree.  The
+// first Commit writes every node.
+func NewTreeStore(t *Tree, p *storage.Pager) (*TreeStore, error) {
+	if p.PageSize() != t.opts.PageSize {
+		return nil, fmt.Errorf("rtree: pager page size %d does not match tree page size %d",
+			p.PageSize(), t.opts.PageSize)
+	}
+	return &TreeStore{
+		t:      t,
+		p:      p,
+		byNode: make(map[storage.PageID]storage.PageID),
+		owner:  make(map[storage.PageID]storage.PageID),
+		crcs:   make(map[storage.PageID]uint32),
+	}, nil
+}
+
+// OpenTreeStore reconstructs the tree committed to p (rooted at the pager's
+// root pointer) and binds it to a store whose diff state matches the disk, so
+// the next Commit writes only what the caller mutates.  opts must carry the
+// pager's page size.
+func OpenTreeStore(p *storage.Pager, opts Options) (*TreeStore, error) {
+	root := p.Root()
+	if root == storage.InvalidPage {
+		return nil, fmt.Errorf("rtree: pager holds no committed tree root")
+	}
+	t, err := Load(p, root, opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewTreeStore(t, p)
+	if err != nil {
+		return nil, err
+	}
+	// Load validated the page graph (checksums, cycle guard, level
+	// discipline); a lockstep walk over the freshly built nodes and their
+	// source pages rebinds node ids to pager pages and seeds the checksum
+	// diff, so unchanged nodes are never rewritten.
+	if err := s.bind(t.root, root); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// bind walks the in-memory subtree and its on-disk image in lockstep,
+// recording the node-to-page mapping and the stored payload checksums.
+func (s *TreeStore) bind(n *Node, page storage.PageID) error {
+	buf, err := s.p.Read(page)
+	if err != nil {
+		return fmt.Errorf("rtree: rebinding page %d: %w", page, err)
+	}
+	s.byNode[n.ID] = page
+	s.owner[page] = n.ID
+	s.crcs[page] = storage.Checksum(buf)
+	if n.IsLeaf() {
+		return nil
+	}
+	dn, err := storage.DecodeNode(buf, s.t.opts.PageSize)
+	if err != nil {
+		return fmt.Errorf("rtree: rebinding page %d: %w", page, err)
+	}
+	if len(dn.Entries) != len(n.Entries) {
+		return fmt.Errorf("rtree: rebinding page %d: %d entries on disk, %d in memory: %w",
+			page, len(dn.Entries), len(n.Entries), storage.ErrCorruptPage)
+	}
+	for i, e := range n.Entries {
+		if err := s.bind(e.Child, storage.PageID(dn.Entries[i].Ref)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tree returns the bound tree.
+func (s *TreeStore) Tree() *Tree { return s.t }
+
+// Pager returns the bound pager.
+func (s *TreeStore) Pager() *storage.Pager { return s.p }
+
+// Commit makes the tree's current state durable as one pager transaction and
+// returns what it cost.  Only pages whose encoded bytes changed since the
+// last commit are written; pages of nodes that no longer exist are freed.
+func (s *TreeStore) Commit() (CommitStats, error) {
+	t := s.t
+
+	// Pass 1: assign a pager page to every live node (children before
+	// parents does not matter here — only the assignment must be complete
+	// before parents encode their child references).
+	live := make(map[storage.PageID]bool)
+	t.Walk(func(n *Node) {
+		live[n.ID] = true
+		if _, ok := s.byNode[n.ID]; !ok {
+			page := s.p.Allocate()
+			s.byNode[n.ID] = page
+			s.owner[page] = n.ID
+		}
+	})
+
+	// Pass 2: free the pages of dissolved nodes first, so their identifiers
+	// rejoin the free list in this same transaction.  Deterministic order
+	// keeps commits reproducible run over run.
+	var deadPages []storage.PageID
+	for nodeID, page := range s.byNode {
+		if !live[nodeID] {
+			deadPages = append(deadPages, page)
+		}
+	}
+	sort.Slice(deadPages, func(i, j int) bool { return deadPages[i] < deadPages[j] })
+	for _, page := range deadPages {
+		nodeID := s.owner[page]
+		s.p.Free(page)
+		delete(s.byNode, nodeID)
+		delete(s.owner, page)
+		delete(s.crcs, page)
+	}
+
+	// Pass 3: encode every live node and write the ones whose bytes moved.
+	stats := CommitStats{PagesFreed: len(deadPages)}
+	var commitErr error
+	t.Walk(func(n *Node) {
+		if commitErr != nil {
+			return
+		}
+		dn := storage.DiskNode{Level: uint16(n.Level)}
+		for _, e := range n.Entries {
+			ref := uint32(e.Data)
+			if e.Child != nil {
+				ref = uint32(s.byNode[e.Child.ID])
+			}
+			dn.Entries = append(dn.Entries, storage.DiskEntry{Rect: e.Rect, Ref: ref})
+		}
+		buf, err := storage.EncodeNode(dn, t.opts.PageSize)
+		if err != nil {
+			commitErr = fmt.Errorf("rtree: encoding node %d: %w", n.ID, err)
+			return
+		}
+		page := s.byNode[n.ID]
+		crc := storage.Checksum(buf)
+		if prev, ok := s.crcs[page]; ok && prev == crc {
+			stats.PagesClean++
+			return
+		}
+		if err := s.p.Write(page, buf); err != nil {
+			commitErr = fmt.Errorf("rtree: writing node %d to page %d: %w", n.ID, page, err)
+			return
+		}
+		s.crcs[page] = crc
+		stats.PagesWritten++
+	})
+	if commitErr != nil {
+		return stats, commitErr
+	}
+
+	stats.Root = s.byNode[t.root.ID]
+	s.p.SetRoot(stats.Root)
+	seq, err := s.p.Commit()
+	if err != nil {
+		return stats, err
+	}
+	stats.Seq = seq
+	return stats, nil
+}
+
+// ReadPage implements the buffer tracker's PageReader: it resolves the
+// tree's node identifier to its pager page and reads it from disk.  Reading
+// a node that was never committed is an error — the join must only ever
+// touch committed state.
+func (s *TreeStore) ReadPage(id storage.PageID) ([]byte, error) {
+	page, ok := s.byNode[id]
+	if !ok {
+		return nil, fmt.Errorf("rtree: node %d has no committed page: %w", id, storage.ErrUnknownPage)
+	}
+	return s.p.Read(page)
+}

@@ -1,0 +1,19 @@
+package storage
+
+import "hash/crc32"
+
+// castagnoli is the CRC-32C polynomial table; Castagnoli is the checksum
+// SQLite's WAL and most storage engines use because commodity CPUs compute it
+// in hardware.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksumSeed is folded into every checksum so that an all-zero frame (a
+// file hole, an unwritten slot, a torn write that zeroed the header) never
+// validates against an all-zero stored checksum.
+const checksumSeed = 0x9e3779b9
+
+// Checksum returns the CRC-32C of b, seeded so a zeroed frame is detectably
+// invalid.  It guards both page frames and WAL records.
+func Checksum(b []byte) uint32 {
+	return crc32.Checksum(b, castagnoli) ^ checksumSeed
+}

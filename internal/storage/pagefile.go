@@ -13,6 +13,7 @@ type PageFile struct {
 	mu       sync.RWMutex
 	pageSize int
 	pages    map[PageID][]byte
+	free     []PageID // identifiers released by Free, reused by Allocate
 	next     PageID
 }
 
@@ -32,12 +33,20 @@ func NewPageFile(pageSize int) *PageFile {
 // PageSize returns the page size in bytes.
 func (f *PageFile) PageSize() int { return f.pageSize }
 
-// Allocate reserves a new page and returns its identifier.
+// Allocate reserves a page and returns its identifier, reusing freed pages
+// before extending the file — without the free list, delete-heavy workloads
+// would leak identifiers and the simulated file would only ever grow.
 func (f *PageFile) Allocate() PageID {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	id := f.next
-	f.next++
+	var id PageID
+	if n := len(f.free); n > 0 {
+		id = f.free[n-1]
+		f.free = f.free[:n-1]
+	} else {
+		id = f.next
+		f.next++
+	}
 	f.pages[id] = nil
 	return id
 }
@@ -73,11 +82,16 @@ func (f *PageFile) Read(id PageID) ([]byte, error) {
 	return cp, nil
 }
 
-// Free releases the page.  Reading a freed page fails.
+// Free releases the page and queues its identifier for reuse.  Reading a
+// freed page fails.  Freeing an unallocated page is a no-op.
 func (f *PageFile) Free(id PageID) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if _, ok := f.pages[id]; !ok {
+		return
+	}
 	delete(f.pages, id)
+	f.free = append(f.free, id)
 }
 
 // Len returns the number of allocated pages.

@@ -1,0 +1,276 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// VFS is the seam between the pager and the operating system: everything the
+// durable storage layer does to a disk goes through this interface.  The
+// production implementation is OSVFS; MemVFS simulates a disk with a
+// power-cut model for crash testing, and FaultFS wraps MemVFS to inject
+// faults deterministically.
+type VFS interface {
+	// Open opens the named file for reading and writing, creating it empty
+	// if it does not exist.
+	Open(name string) (File, error)
+	// Remove deletes the named file.  Removing a missing file is an error.
+	Remove(name string) error
+}
+
+// File is the subset of file operations the pager needs.  All writes are
+// positioned (no seek state), mirroring the pager's fixed-size frame layout;
+// durability is explicit through Sync, exactly the contract the WAL protocol
+// is written against.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Sync forces everything written so far to durable storage.
+	Sync() error
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Size returns the current file size in bytes.
+	Size() (int64, error)
+	// Close releases the handle.  It does not imply Sync.
+	Close() error
+}
+
+// OSVFS is the real-disk implementation of VFS on top of the os package.
+type OSVFS struct{}
+
+// Open implements VFS.
+func (OSVFS) Open(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Remove implements VFS.
+func (OSVFS) Remove(name string) error { return os.Remove(name) }
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// ---------------------------------------------------------------------------
+// MemVFS: an in-memory disk with an explicit durability model.
+// ---------------------------------------------------------------------------
+
+// MemVFS simulates a disk for crash testing.  Every file keeps two images:
+// the durable one (what survives a power cut) and the current one (what reads
+// observe).  Writes and truncates are applied to the current image and queued
+// in a single VFS-wide pending log; Sync promotes a file's pending operations
+// into its durable image.  Crash throws away a deterministic suffix of the
+// pending log — possibly tearing the last surviving write in half, which is
+// exactly the torn-page scenario the pager's checksums must catch — and
+// resets every file to the resulting durable state.
+//
+// MemVFS is safe for concurrent use.
+type MemVFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	pending []memOp
+}
+
+type memFile struct {
+	durable []byte
+	current []byte
+}
+
+type memOp struct {
+	file     string
+	truncate bool
+	off      int64 // truncate: the new size
+	data     []byte
+}
+
+// NewMemVFS returns an empty in-memory disk.
+func NewMemVFS() *MemVFS {
+	return &MemVFS{files: make(map[string]*memFile)}
+}
+
+// Open implements VFS.
+func (v *MemVFS) Open(name string) (File, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.files[name]; !ok {
+		v.files[name] = &memFile{}
+	}
+	return &memHandle{vfs: v, name: name}, nil
+}
+
+// Remove implements VFS.
+func (v *MemVFS) Remove(name string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.files[name]; !ok {
+		return fmt.Errorf("memvfs: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(v.files, name)
+	kept := v.pending[:0]
+	for _, op := range v.pending {
+		if op.file != name {
+			kept = append(kept, op)
+		}
+	}
+	v.pending = kept
+	return nil
+}
+
+// Crash simulates a power cut: a deterministic (seeded) prefix of the pending
+// operations survives, the operation at the cut — if it is a write — survives
+// only partially (a torn write), and everything after it is lost.  All files
+// are reset to the resulting durable images and the pending log is cleared.
+func (v *MemVFS) Crash(seed int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	rng := rand.New(rand.NewSource(seed))
+	cut := 0
+	if len(v.pending) > 0 {
+		cut = rng.Intn(len(v.pending) + 1)
+	}
+	for i := 0; i < cut; i++ {
+		v.applyToDurable(v.pending[i], -1)
+	}
+	if cut < len(v.pending) {
+		if op := v.pending[cut]; !op.truncate && len(op.data) > 0 {
+			// The interrupted write reached the platter only in part.
+			v.applyToDurable(op, rng.Intn(len(op.data)))
+		}
+	}
+	for _, f := range v.files {
+		f.current = append(f.current[:0:0], f.durable...)
+	}
+	v.pending = v.pending[:0]
+}
+
+// applyToDurable replays one pending operation onto its file's durable image;
+// limit >= 0 truncates a write to its first limit bytes (a torn write).
+func (v *MemVFS) applyToDurable(op memOp, limit int) {
+	f, ok := v.files[op.file]
+	if !ok {
+		return
+	}
+	if op.truncate {
+		f.durable = resize(f.durable, op.off)
+		return
+	}
+	data := op.data
+	if limit >= 0 && limit < len(data) {
+		data = data[:limit]
+	}
+	if end := op.off + int64(len(data)); int64(len(f.durable)) < end {
+		f.durable = resize(f.durable, end)
+	}
+	copy(f.durable[op.off:], data)
+}
+
+func resize(b []byte, size int64) []byte {
+	n := int(size)
+	if n <= len(b) {
+		return b[:n]
+	}
+	return append(b, make([]byte, n-len(b))...)
+}
+
+type memHandle struct {
+	vfs  *MemVFS
+	name string
+}
+
+func (h *memHandle) file() (*memFile, error) {
+	f, ok := h.vfs.files[h.name]
+	if !ok {
+		return nil, fmt.Errorf("memvfs: %s: %w", h.name, os.ErrNotExist)
+	}
+	return f, nil
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.vfs.mu.Lock()
+	defer h.vfs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	if off >= int64(len(f.current)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.current[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.vfs.mu.Lock()
+	defer h.vfs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	if end := off + int64(len(p)); int64(len(f.current)) < end {
+		f.current = resize(f.current, end)
+	}
+	copy(f.current[off:], p)
+	h.vfs.pending = append(h.vfs.pending, memOp{
+		file: h.name, off: off, data: append([]byte(nil), p...),
+	})
+	return len(p), nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.vfs.mu.Lock()
+	defer h.vfs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	f.current = resize(f.current, size)
+	h.vfs.pending = append(h.vfs.pending, memOp{file: h.name, truncate: true, off: size})
+	return nil
+}
+
+func (h *memHandle) Sync() error {
+	h.vfs.mu.Lock()
+	defer h.vfs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	// The file's current image becomes durable; its pending operations are
+	// settled and leave the log (other files' operations keep their order).
+	kept := h.vfs.pending[:0]
+	for _, op := range h.vfs.pending {
+		if op.file != h.name {
+			kept = append(kept, op)
+		}
+	}
+	h.vfs.pending = kept
+	f.durable = append(f.durable[:0:0], f.current...)
+	return nil
+}
+
+func (h *memHandle) Size() (int64, error) {
+	h.vfs.mu.Lock()
+	defer h.vfs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(f.current)), nil
+}
+
+func (h *memHandle) Close() error { return nil }

@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Write-ahead log format.
+//
+// The WAL is the redo log of the pager: a transaction is a run of page-image
+// records followed by one commit record carrying the allocator metadata.  A
+// transaction is durable exactly when its commit record is fully on disk —
+// the pager fsyncs the WAL once per commit batch (group commit), only then
+// applies the images to the main file, and never fsyncs the main file outside
+// a checkpoint.  Recovery scans the WAL from the start, replays every
+// complete transaction in order and stops at the first record whose checksum
+// or length does not verify: that is the torn tail of the crashed append, and
+// everything before it is exactly the committed prefix.
+//
+//	header:  magic | version | pageSize | reserved          (16 bytes)
+//	record:  crc32 | length  | payload                      (8-byte header)
+//	payload: type  | body
+//
+// The record checksum covers the payload, so a torn record, a bit flip and a
+// stale tail from a previous WAL generation are all detected the same way.
+
+const (
+	walMagic   uint32 = 0x574A4C31 // "WJL1"
+	walVersion uint32 = 1
+
+	walHeaderSize    = 16
+	walRecHeaderSize = 8
+
+	recPage   byte = 1
+	recCommit byte = 2
+
+	pageRecOverhead   = 1 + 4 + 4 // type, page id, payload length
+	commitRecBodySize = 1 + 8 + 4 + 4 + 4 + 4
+)
+
+// Errors of the WAL codec and recovery scan.
+var (
+	ErrWALHeader = errors.New("storage: bad WAL header")
+	ErrWALRecord = errors.New("storage: bad WAL record")
+)
+
+// walCommit is the metadata a commit record carries: the transaction
+// sequence number and the allocator state (next unallocated page, head of the
+// free-page chain, the client root pointer) as of that transaction.
+type walCommit struct {
+	Seq      uint64
+	Next     PageID
+	FreeHead PageID
+	Root     PageID
+	Pages    uint32 // number of page records in the transaction (sanity check)
+}
+
+// appendWALHeader appends the WAL file header.
+func appendWALHeader(dst []byte, pageSize int) []byte {
+	var h [walHeaderSize]byte
+	binary.LittleEndian.PutUint32(h[0:], walMagic)
+	binary.LittleEndian.PutUint32(h[4:], walVersion)
+	binary.LittleEndian.PutUint32(h[8:], uint32(pageSize))
+	return append(dst, h[:]...)
+}
+
+// checkWALHeader verifies the WAL file header against the pager's page size.
+func checkWALHeader(buf []byte, pageSize int) error {
+	if len(buf) < walHeaderSize {
+		return fmt.Errorf("%w: %d bytes", ErrWALHeader, len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:]); m != walMagic {
+		return fmt.Errorf("%w: magic %#x", ErrWALHeader, m)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != walVersion {
+		return fmt.Errorf("%w: version %d", ErrWALHeader, v)
+	}
+	if ps := binary.LittleEndian.Uint32(buf[8:]); int(ps) != pageSize {
+		return fmt.Errorf("%w: page size %d, want %d", ErrWALHeader, ps, pageSize)
+	}
+	return nil
+}
+
+// appendRecord appends one checksummed record framing the given payload.
+func appendRecord(dst, payload []byte) []byte {
+	var h [walRecHeaderSize]byte
+	binary.LittleEndian.PutUint32(h[0:], Checksum(payload))
+	binary.LittleEndian.PutUint32(h[4:], uint32(len(payload)))
+	dst = append(dst, h[:]...)
+	return append(dst, payload...)
+}
+
+// appendPageRecord appends a page-image record: on replay the payload is
+// written back to the page's frame.
+func appendPageRecord(dst []byte, id PageID, data []byte) []byte {
+	payload := make([]byte, pageRecOverhead+len(data))
+	payload[0] = recPage
+	binary.LittleEndian.PutUint32(payload[1:], uint32(id))
+	binary.LittleEndian.PutUint32(payload[5:], uint32(len(data)))
+	copy(payload[9:], data)
+	return appendRecord(dst, payload)
+}
+
+// appendCommitRecord appends the commit record sealing a transaction.
+func appendCommitRecord(dst []byte, c walCommit) []byte {
+	payload := make([]byte, commitRecBodySize)
+	payload[0] = recCommit
+	binary.LittleEndian.PutUint64(payload[1:], c.Seq)
+	binary.LittleEndian.PutUint32(payload[9:], uint32(c.Next))
+	binary.LittleEndian.PutUint32(payload[13:], uint32(c.FreeHead))
+	binary.LittleEndian.PutUint32(payload[17:], uint32(c.Root))
+	binary.LittleEndian.PutUint32(payload[21:], c.Pages)
+	return appendRecord(dst, payload)
+}
+
+// parseRecord splits the next record off buf.  It returns the verified
+// payload and the remaining bytes, or an error for a torn, truncated or
+// corrupted record (recovery treats any error as the end of the log).
+// maxPayload bounds the declared length so a corrupt header cannot demand an
+// absurd allocation.
+func parseRecord(buf []byte, maxPayload int) (payload, rest []byte, err error) {
+	if len(buf) < walRecHeaderSize {
+		return nil, nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrWALRecord, len(buf))
+	}
+	crc := binary.LittleEndian.Uint32(buf[0:])
+	length := int(binary.LittleEndian.Uint32(buf[4:]))
+	if length < 1 || length > maxPayload {
+		return nil, nil, fmt.Errorf("%w: payload length %d", ErrWALRecord, length)
+	}
+	if len(buf) < walRecHeaderSize+length {
+		return nil, nil, fmt.Errorf("%w: torn payload (%d of %d bytes)",
+			ErrWALRecord, len(buf)-walRecHeaderSize, length)
+	}
+	payload = buf[walRecHeaderSize : walRecHeaderSize+length]
+	if got := Checksum(payload); got != crc {
+		return nil, nil, fmt.Errorf("%w: checksum %#x, want %#x", ErrWALRecord, got, crc)
+	}
+	return payload, buf[walRecHeaderSize+length:], nil
+}
+
+// parsePageRecord decodes a verified page-image payload.
+func parsePageRecord(payload []byte, pageSize int) (PageID, []byte, error) {
+	if len(payload) < pageRecOverhead || payload[0] != recPage {
+		return 0, nil, fmt.Errorf("%w: malformed page record", ErrWALRecord)
+	}
+	id := PageID(binary.LittleEndian.Uint32(payload[1:]))
+	n := int(binary.LittleEndian.Uint32(payload[5:]))
+	if n != len(payload)-pageRecOverhead || n > pageSize {
+		return 0, nil, fmt.Errorf("%w: page record length %d", ErrWALRecord, n)
+	}
+	if id == InvalidPage {
+		return 0, nil, fmt.Errorf("%w: page record for invalid page", ErrWALRecord)
+	}
+	return id, payload[pageRecOverhead:], nil
+}
+
+// parseCommitRecord decodes a verified commit payload.
+func parseCommitRecord(payload []byte) (walCommit, error) {
+	if len(payload) != commitRecBodySize || payload[0] != recCommit {
+		return walCommit{}, fmt.Errorf("%w: malformed commit record", ErrWALRecord)
+	}
+	return walCommit{
+		Seq:      binary.LittleEndian.Uint64(payload[1:]),
+		Next:     PageID(binary.LittleEndian.Uint32(payload[9:])),
+		FreeHead: PageID(binary.LittleEndian.Uint32(payload[13:])),
+		Root:     PageID(binary.LittleEndian.Uint32(payload[17:])),
+		Pages:    binary.LittleEndian.Uint32(payload[21:]),
+	}, nil
+}
+
+// walPage is one page image of a transaction being replayed.
+type walPage struct {
+	ID   PageID
+	Data []byte
+}
+
+// scanWAL replays the committed transactions of a WAL image.  apply is called
+// once per complete transaction, in order.  The scan stops silently at the
+// first torn or corrupt record — the defining property of redo recovery: the
+// committed prefix is replayed, the crashed suffix is discarded.  It returns
+// the number of transactions applied.
+func scanWAL(buf []byte, pageSize int, apply func(pages []walPage, c walCommit) error) (int, error) {
+	if err := checkWALHeader(buf, pageSize); err != nil {
+		if len(buf) == 0 {
+			return 0, nil // a never-created WAL: nothing to recover
+		}
+		return 0, err
+	}
+	rest := buf[walHeaderSize:]
+	maxPayload := pageRecOverhead + pageSize
+	applied := 0
+	var txn []walPage
+	for len(rest) > 0 {
+		payload, r, err := parseRecord(rest, maxPayload)
+		if err != nil {
+			return applied, nil // torn tail: the crashed append ends here
+		}
+		rest = r
+		switch payload[0] {
+		case recPage:
+			id, data, err := parsePageRecord(payload, pageSize)
+			if err != nil {
+				return applied, nil
+			}
+			txn = append(txn, walPage{ID: id, Data: append([]byte(nil), data...)})
+		case recCommit:
+			c, err := parseCommitRecord(payload)
+			if err != nil {
+				return applied, nil
+			}
+			if int(c.Pages) != len(txn) {
+				return applied, nil // commit does not match its transaction
+			}
+			if err := apply(txn, c); err != nil {
+				return applied, err
+			}
+			applied++
+			txn = txn[:0]
+		default:
+			return applied, nil
+		}
+	}
+	return applied, nil
+}

@@ -27,6 +27,7 @@ package repro
 import (
 	"io"
 
+	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/datagen"
@@ -111,6 +112,67 @@ func NewRTreeInsertBuffer(t *RTree, capacity int) *RTreeInsertBuffer {
 // repeated insertion, measurably less ChooseSubtree work.
 func BuildRTreeBuffered(opts RTreeOptions, items []Item) (*RTree, error) {
 	return rtree.BuildBuffered(opts, items)
+}
+
+// Durable storage: the crash-safe pager and its virtual file system seam
+// (checksummed page frames, redo WAL with group commit, free-list reuse;
+// see DESIGN.md).
+type (
+	// Pager is a crash-safe on-disk page store: committed transactions
+	// survive a power cut at any file operation.
+	Pager = storage.Pager
+	// PagerOptions configures read retries, backoff and checkpoint cadence.
+	PagerOptions = storage.PagerOptions
+	// PagerStats counts the pager's physical I/O (measured, not simulated).
+	PagerStats = storage.PagerStats
+	// VFS is the file-system seam the pager runs on: the real OS, an
+	// in-memory power-cut model, or a fault injector.
+	VFS = storage.VFS
+	// OSVFS is the production VFS backed by the operating system.
+	OSVFS = storage.OSVFS
+	// MemVFS is the deterministic in-memory power-cut model (unsynced
+	// writes die in a crash, possibly torn).
+	MemVFS = storage.MemVFS
+	// FaultFS wraps a MemVFS and injects scripted crashes, read errors,
+	// fsync failures and short writes.
+	FaultFS = storage.FaultFS
+	// FaultScript says which operations of a FaultFS fail and how.
+	FaultScript = storage.FaultScript
+	// RTreeStore binds an RTree to a Pager and commits it incrementally:
+	// only pages whose bytes changed are written, dissolved nodes' pages
+	// are freed and reused.
+	RTreeStore = rtree.TreeStore
+	// RTreeCommitStats describes one RTreeStore commit.
+	RTreeCommitStats = rtree.CommitStats
+	// PageReader is the measured-I/O hook of JoinOptions: attach an
+	// RTreeStore as PageReaderR/PageReaderS and every counted disk read of
+	// the join performs one physical, checksum-verified page read.
+	PageReader = buffer.PageReader
+)
+
+// OpenPager opens (or creates) a crash-safe page store at path on fs,
+// recovering any committed state a previous crash left in the write-ahead
+// log.
+func OpenPager(fs VFS, path string, pageSize int, opts PagerOptions) (*Pager, error) {
+	return storage.OpenPager(fs, path, pageSize, opts)
+}
+
+// NewMemVFS returns an empty in-memory power-cut file system.
+func NewMemVFS() *MemVFS { return storage.NewMemVFS() }
+
+// NewFaultFS wraps base with the scripted fault injector.
+func NewFaultFS(base *MemVFS, script FaultScript) *FaultFS {
+	return storage.NewFaultFS(base, script)
+}
+
+// NewRTreeStore binds a freshly built tree to an empty pager; the first
+// Commit writes every node.
+func NewRTreeStore(t *RTree, p *Pager) (*RTreeStore, error) { return rtree.NewTreeStore(t, p) }
+
+// OpenRTreeStore reloads the tree committed to p (validating checksums,
+// cycle freedom and level discipline) and binds it for incremental commits.
+func OpenRTreeStore(p *Pager, opts RTreeOptions) (*RTreeStore, error) {
+	return rtree.OpenTreeStore(p, opts)
 }
 
 // Spatial join of two R-trees (the filter step, the paper's core subject).
