@@ -324,10 +324,14 @@ func (p *Pager) Root() PageID {
 }
 
 // SetRoot stages a new client root pointer; it becomes durable with the next
-// Commit.
+// Commit.  On a broken pager it is a no-op: nothing staged after the break
+// can ever commit.
 func (p *Pager) SetRoot(id PageID) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.broken != nil {
+		return
+	}
 	if p.root != id {
 		p.root = id
 		p.metaDirty = true
@@ -367,10 +371,15 @@ func (p *Pager) Quarantined() []PageID {
 }
 
 // Allocate reserves a page id, reusing the free list first.  The allocation
-// becomes durable with the next Commit.
+// becomes durable with the next Commit.  A broken pager (see ErrPagerBroken)
+// refuses all mutations and returns InvalidPage; any Write against it
+// surfaces the underlying error.
 func (p *Pager) Allocate() PageID {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.broken != nil {
+		return InvalidPage
+	}
 	var id PageID
 	if n := len(p.freeList); n > 0 {
 		// The stack top is the chain head; popping it promotes the next
@@ -418,10 +427,11 @@ func (p *Pager) Write(id PageID, buf []byte) error {
 // Free releases a live page.  The page joins the on-disk free chain at the
 // next Commit and is immediately available to Allocate after that commit.
 // Freeing an unknown or already freed page is a no-op, matching PageFile.
+// On a broken pager Free is also a no-op — the free could never commit.
 func (p *Pager) Free(id PageID) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if !p.alive[id] {
+	if p.broken != nil || !p.alive[id] {
 		return
 	}
 	delete(p.alive, id)
@@ -457,8 +467,16 @@ func (p *Pager) Read(id PageID) ([]byte, error) {
 // images and free-chain links are appended to the WAL as a single
 // checksummed group, the WAL is fsynced once (group commit), and only then
 // are the frames written back to the main file.  It returns the committed
-// sequence number.  A failed commit leaves the staged state intact — the
-// caller may retry.
+// sequence number.
+//
+// The error reports on the commit itself: a nil error means the transaction
+// is durable, a non-nil error means it is not and the staged state is intact
+// for a retry — unless the error is ErrPagerBroken, in which case the
+// transaction was durably logged but the main file fell behind the WAL and
+// the pager must be reopened (recovery replays the log).  A failed automatic
+// checkpoint after a durable commit does not fail the commit: Commit returns
+// nil and the checkpoint failure marks the pager broken, surfacing on every
+// subsequent operation until a reopen.
 func (p *Pager) Commit() (uint64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -550,9 +568,12 @@ func (p *Pager) commitLocked() (uint64, error) {
 	p.stats.CommitNanos += time.Since(start).Nanoseconds()
 	p.sinceCkpt++
 	if p.opts.CheckpointEvery > 0 && p.sinceCkpt >= p.opts.CheckpointEvery {
-		if err := p.checkpointLocked(); err != nil {
-			return p.seq, err
-		}
+		// The transaction is already durable in the WAL and applied to the
+		// main file; an automatic-checkpoint failure is not a commit failure.
+		// checkpointLocked marks the pager broken (sticky, surfaced by every
+		// later operation until a reopen), so the durable commit is reported
+		// truthfully here.
+		_ = p.checkpointLocked()
 	}
 	return p.seq, nil
 }
@@ -577,14 +598,27 @@ func (p *Pager) Checkpoint() error {
 }
 
 func (p *Pager) checkpointLocked() error {
+	if p.broken != nil {
+		return p.broken
+	}
+	// A failure anywhere in here is sticky: the meta frame, the main-file
+	// durability and the WAL offset (p.walSize) are only consistent with the
+	// files after every step succeeds.  In particular, if initWAL dies after
+	// a partial header write or a failed truncate, appending at the stale
+	// walSize would leave a gap the recovery scan stops at — silently losing
+	// committed transactions.  Marking the pager broken forces a reopen,
+	// which re-derives all of that state from the durable files.
 	if err := p.writeMeta(); err != nil {
-		return err
+		p.broken = fmt.Errorf("%w: checkpoint meta write: %w", ErrPagerBroken, err)
+		return p.broken
 	}
 	if err := p.sync(p.db); err != nil {
-		return err
+		p.broken = fmt.Errorf("%w: checkpoint fsync: %w", ErrPagerBroken, err)
+		return p.broken
 	}
 	if err := p.initWAL(); err != nil {
-		return err
+		p.broken = fmt.Errorf("%w: checkpoint WAL reset: %w", ErrPagerBroken, err)
+		return p.broken
 	}
 	p.sinceCkpt = 0
 	p.stats.Checkpoints++
@@ -676,7 +710,9 @@ func (p *Pager) readFullRetry(f File, buf []byte, off int64) (int, error) {
 		start := time.Now()
 		n, err := f.ReadAt(buf, off)
 		p.stats.ReadNanos += time.Since(start).Nanoseconds()
-		if err == nil && n == len(buf) {
+		if n == len(buf) {
+			// A full buffer is success: the io.ReaderAt contract allows
+			// (len(buf), io.EOF) when the read ends exactly at end-of-file.
 			p.stats.Reads++
 			p.stats.BytesRead += int64(n)
 			return n, nil

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"io"
 	"testing"
 	"time"
 )
@@ -32,7 +33,8 @@ func TestMemVFSDurabilityModel(t *testing.T) {
 	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
 		t.Fatal(err)
 	}
-	// Unsynced writes are visible to reads but die in a crash.
+	// Unsynced writes are visible to reads but are not guaranteed to survive
+	// a crash: a seeded prefix may persist, wholly or torn, like a real disk.
 	buf := make([]byte, 5)
 	if _, err := f.ReadAt(buf, 0); err != nil || string(buf) != "hello" {
 		t.Fatalf("read before crash: %q, %v", buf, err)
@@ -200,7 +202,8 @@ func TestPagerWALReplayAfterCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Power cut: the db writes were never synced, only the WAL was.  The
-	// crash wipes the unsynced db state; recovery must replay the WAL.
+	// unsynced db state may die (wholly or torn); recovery must replay the
+	// WAL so the outcome is the same either way.
 	fs.Crash(4)
 	q := mustOpen(t, fs, "t.db", PageSize1K, opts)
 	defer q.Close()
@@ -440,6 +443,137 @@ func TestPagerBrokenAfterWriteBackFailure(t *testing.T) {
 	}
 }
 
+func TestPagerCheckpointFailureIsStickyAndRecoverable(t *testing.T) {
+	base := NewMemVFS()
+	p := mustOpen(t, base, "t.db", PageSize1K, PagerOptions{Sleep: noSleep, CheckpointEvery: 1})
+	id := p.Allocate()
+	if err := p.Write(id, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	p.SetRoot(id)
+	// The commit's WAL append and fsync succeed; the embedded auto-checkpoint
+	// dies on the main-file fsync.  The transaction is durable, so Commit must
+	// report success — and the checkpoint failure must break the pager.
+	p.db = &failingSyncs{File: p.db, fails: 1}
+	seq, err := p.Commit()
+	if err != nil {
+		t.Fatalf("durable commit reported failure: %v", err)
+	}
+	if seq != 1 {
+		t.Fatalf("committed seq %d, want 1", seq)
+	}
+	// Every mutation refuses work on the broken pager: nothing staged after
+	// the break could ever commit.
+	if _, err := p.Commit(); !errors.Is(err, ErrPagerBroken) {
+		t.Fatalf("commit on broken pager: %v", err)
+	}
+	if err := p.Checkpoint(); !errors.Is(err, ErrPagerBroken) {
+		t.Fatalf("checkpoint on broken pager: %v", err)
+	}
+	if got := p.Allocate(); got != InvalidPage {
+		t.Fatalf("Allocate on broken pager returned %d, want InvalidPage", got)
+	}
+	p.Free(id)
+	if p.Len() != 1 {
+		t.Fatalf("Free mutated a broken pager: Len = %d", p.Len())
+	}
+	p.SetRoot(InvalidPage)
+	if p.Root() != id {
+		t.Fatalf("SetRoot mutated a broken pager: root = %d", p.Root())
+	}
+	// The committed transaction survives a power cut: the WAL was synced
+	// before the checkpoint began, so recovery replays it.
+	base.Crash(11)
+	q := mustOpen(t, base, "t.db", PageSize1K, testPagerOptions())
+	defer q.Close()
+	if q.Seq() != 1 {
+		t.Fatalf("recovered seq %d, want 1", q.Seq())
+	}
+	if buf, err := q.Read(id); err != nil || string(buf) != "v1" {
+		t.Fatalf("recovered page: %q, %v", buf, err)
+	}
+}
+
+func TestPagerNoLossAfterWALResetFailure(t *testing.T) {
+	// The regression this pins: a checkpoint whose WAL reset fails used to
+	// leave walSize stale, so the next commit appended past a gap the
+	// recovery scan stops at — committed transactions silently vanished.
+	// The failure must instead be sticky until a reopen.
+	base := NewMemVFS()
+	p := mustOpen(t, base, "t.db", PageSize1K, PagerOptions{Sleep: noSleep, CheckpointEvery: 1})
+	id := p.Allocate()
+	if err := p.Write(id, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Sync #1 is the group commit (must succeed); sync #2 is the WAL reset
+	// of the embedded auto-checkpoint (dies).
+	p.wal = &syncFailsOn{File: p.wal, n: 2}
+	if _, err := p.Commit(); err != nil {
+		t.Fatalf("durable commit reported failure: %v", err)
+	}
+	// The pager must refuse further commits rather than append at the stale
+	// WAL offset.
+	if err := p.Write(id, []byte("v2")); !errors.Is(err, ErrPagerBroken) {
+		t.Fatalf("write on broken pager: %v", err)
+	}
+	// Reopening re-derives the WAL state; new commits land and recover.
+	q := mustOpen(t, base, "t.db", PageSize1K, testPagerOptions())
+	if buf, err := q.Read(id); err != nil || string(buf) != "v1" {
+		t.Fatalf("page after reopen: %q, %v", buf, err)
+	}
+	if err := q.Write(id, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, base, "t.db", PageSize1K, testPagerOptions())
+	defer r.Close()
+	if buf, err := r.Read(id); err != nil || string(buf) != "v2" {
+		t.Fatalf("commit after recovery lost: %q, %v", buf, err)
+	}
+}
+
+func TestPagerFullReadWithEOFIsSuccess(t *testing.T) {
+	// io.ReaderAt allows (len(p), io.EOF) for a read ending exactly at
+	// end-of-file; the retry loop must treat a full buffer as success.
+	base := NewMemVFS()
+	p := mustOpen(t, base, "t.db", PageSize1K, testPagerOptions())
+	id := p.Allocate()
+	if err := p.Write(id, []byte("edge")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q := mustOpen(t, base, "t.db", PageSize1K, testPagerOptions())
+	defer q.Close()
+	q.db = eofFile{q.db}
+	if buf, err := q.Read(id); err != nil || string(buf) != "edge" {
+		t.Fatalf("full read with io.EOF: %q, %v", buf, err)
+	}
+	if n := q.Stats().ReadRetries; n != 0 {
+		t.Fatalf("full read with io.EOF burned %d retries", n)
+	}
+}
+
+// eofFile returns io.EOF alongside every full read, as io.ReaderAt permits.
+type eofFile struct{ File }
+
+func (f eofFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.File.ReadAt(p, off)
+	if err == nil && n == len(p) {
+		return n, io.EOF
+	}
+	return n, err
+}
+
 // failingSyncs fails the first `fails` Sync calls, then passes through.
 type failingSyncs struct {
 	File
@@ -449,6 +583,20 @@ type failingSyncs struct {
 func (f *failingSyncs) Sync() error {
 	if f.fails > 0 {
 		f.fails--
+		return ErrInjectedSync
+	}
+	return f.File.Sync()
+}
+
+// syncFailsOn fails the n-th Sync call (1-based) and passes the rest through.
+type syncFailsOn struct {
+	File
+	n, count int
+}
+
+func (f *syncFailsOn) Sync() error {
+	f.count++
+	if f.count == f.n {
 		return ErrInjectedSync
 	}
 	return f.File.Sync()

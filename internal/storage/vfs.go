@@ -74,7 +74,10 @@ func (f osFile) Size() (int64, error) {
 // into its durable image.  Crash throws away a deterministic suffix of the
 // pending log — possibly tearing the last surviving write in half, which is
 // exactly the torn-page scenario the pager's checksums must catch — and
-// resets every file to the resulting durable state.
+// resets every file to the resulting durable state.  Note the real-disk
+// semantics: an unsynced write is not guaranteed to die in a crash — it may
+// survive wholly, survive torn, or vanish.  Only Sync guarantees survival,
+// which is precisely the contract the WAL protocol must be correct against.
 //
 // MemVFS is safe for concurrent use.
 type MemVFS struct {

@@ -130,8 +130,9 @@ type (
 	VFS = storage.VFS
 	// OSVFS is the production VFS backed by the operating system.
 	OSVFS = storage.OSVFS
-	// MemVFS is the deterministic in-memory power-cut model (unsynced
-	// writes die in a crash, possibly torn).
+	// MemVFS is the deterministic in-memory power-cut model: unsynced
+	// writes may survive a crash wholly or torn, or vanish; only synced
+	// writes are guaranteed to survive.
 	MemVFS = storage.MemVFS
 	// FaultFS wraps a MemVFS and injects scripted crashes, read errors,
 	// fsync failures and short writes.
