@@ -1,0 +1,385 @@
+// Command spatialjoind serves spatial joins over HTTP: a pager-backed,
+// crash-safe R-tree of churned rectangles (R) is joined on demand against a
+// static reference tree (S), with snapshot isolation between the single
+// writer and concurrent readers.  Mutations staged via /update become
+// visible atomically at round boundaries, driven by a ticker or an explicit
+// /round.  Admission control sheds load with Retry-After, deadlines and
+// cancellation propagate into the join, and a storage fault flips the server
+// into a broken state the round loop repairs by reopening the pager (WAL
+// recovery).
+//
+// Usage:
+//
+//	spatialjoind -db r.db -s-items 10000 -addr :7453 -round 500ms
+//
+// Endpoints:
+//
+//	POST /update  JSON [{"xl":..,"yl":..,"xu":..,"yu":..,"data":1,"delete":false}, ...]
+//	POST /round   commit staged mutations and flip the snapshot now
+//	POST /join    JSON {"workers":4,"discard_pairs":false} (body optional)
+//	GET  /stats   server counters and epoch state
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/join"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spatialjoind:", err)
+		os.Exit(1)
+	}
+}
+
+type daemonConfig struct {
+	addr        string
+	db          string
+	pageSize    int
+	roundEvery  time.Duration
+	deadline    time.Duration
+	maxInflight int
+	costBudget  time.Duration
+	cacheBytes  int
+	sItems      int
+	sSide       float64
+	seed        int64
+}
+
+func parseFlags(args []string) (daemonConfig, error) {
+	fs := flag.NewFlagSet("spatialjoind", flag.ContinueOnError)
+	var cfg daemonConfig
+	fs.StringVar(&cfg.addr, "addr", ":7453", "listen address")
+	fs.StringVar(&cfg.db, "db", "spatialjoin.db", "path of the pager-backed R relation")
+	fs.IntVar(&cfg.pageSize, "page", storage.PageSize4K, "page size in bytes")
+	fs.DurationVar(&cfg.roundEvery, "round", 500*time.Millisecond, "round ticker interval (0 disables; use POST /round)")
+	fs.DurationVar(&cfg.deadline, "deadline", 10*time.Second, "default per-request deadline")
+	fs.IntVar(&cfg.maxInflight, "max-inflight", 64, "admission slots before shedding")
+	fs.DurationVar(&cfg.costBudget, "cost-budget", 30*time.Second, "estimated-cost budget before shedding (negative disables)")
+	fs.IntVar(&cfg.cacheBytes, "cache", 1<<20, "per-epoch page cache in bytes (0 disables)")
+	fs.IntVar(&cfg.sItems, "s-items", 10000, "cardinality of the synthetic static relation S")
+	fs.Float64Var(&cfg.sSide, "s-side", 0.001, "rectangle side length of the synthetic S items")
+	fs.Int64Var(&cfg.seed, "seed", 42, "seed of the synthetic S relation")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	logger := log.New(out, "spatialjoind: ", log.LstdFlags)
+
+	srv, closeStorage, err := buildServer(storage.OSVFS{}, cfg)
+	if err != nil {
+		return err
+	}
+	defer closeStorage()
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: newMux(srv)}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving on %s (db %s, S=%d items, round every %v)",
+		ln.Addr(), cfg.db, cfg.sItems, cfg.roundEvery)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	var wg sync.WaitGroup
+	if cfg.roundEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			roundLoop(ctx, srv, cfg.roundEvery, logger)
+		}()
+	}
+
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+	case err := <-errCh:
+		wg.Wait()
+		return err
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	wg.Wait()
+	// One final round so staged mutations become durable before exit.
+	if srv.Pending() > 0 && !srv.Broken() {
+		if _, err := srv.Round(); err != nil {
+			logger.Printf("final round: %v", err)
+		}
+	}
+	return srv.Close()
+}
+
+// buildServer opens (or creates) the pager-backed R relation, synthesises
+// the static S relation, and assembles the join server with a reopen
+// callback that runs WAL recovery on the same database file.
+func buildServer(vfs storage.VFS, cfg daemonConfig) (*server.Server, func(), error) {
+	pagerOpts := storage.PagerOptions{}
+	pager, err := storage.OpenPager(vfs, cfg.db, cfg.pageSize, pagerOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	treeOpts := rtree.Options{PageSize: cfg.pageSize}
+
+	var store *rtree.TreeStore
+	if pager.Root() == storage.InvalidPage {
+		tree, err := rtree.New(treeOpts)
+		if err != nil {
+			pager.Close()
+			return nil, nil, err
+		}
+		store, err = rtree.NewTreeStore(tree, pager)
+		if err != nil {
+			pager.Close()
+			return nil, nil, err
+		}
+	} else {
+		store, err = rtree.OpenTreeStore(pager, treeOpts)
+		if err != nil {
+			pager.Close()
+			return nil, nil, err
+		}
+	}
+
+	sTree, err := buildS(treeOpts, cfg)
+	if err != nil {
+		pager.Close()
+		return nil, nil, err
+	}
+
+	// curPager tracks the live pager across reopens so shutdown checkpoints
+	// the right one.
+	var mu sync.Mutex
+	curPager := pager
+
+	srv, err := server.New(server.Config{
+		Store:           store,
+		S:               sTree,
+		MaxInflight:     cfg.maxInflight,
+		CostBudget:      cfg.costBudget,
+		DefaultDeadline: cfg.deadline,
+		CacheBytes:      cfg.cacheBytes,
+		Reopen: func() (*rtree.TreeStore, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			curPager.Close() // best effort; the pager is likely broken
+			p, err := storage.OpenPager(vfs, cfg.db, cfg.pageSize, pagerOpts)
+			if err != nil {
+				return nil, err
+			}
+			ts, err := rtree.OpenTreeStore(p, treeOpts)
+			if err != nil {
+				p.Close()
+				return nil, err
+			}
+			curPager = p
+			return ts, nil
+		},
+	})
+	if err != nil {
+		pager.Close()
+		return nil, nil, err
+	}
+	closeStorage := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		curPager.Close()
+	}
+	return srv, closeStorage, nil
+}
+
+func buildS(opts rtree.Options, cfg daemonConfig) (*rtree.Tree, error) {
+	if cfg.sItems == 0 {
+		return rtree.New(opts)
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	items := make([]rtree.Item, cfg.sItems)
+	for i := range items {
+		x, y := rng.Float64(), rng.Float64()
+		items[i] = rtree.Item{
+			Rect: geom.Rect{XL: x, YL: y, XU: x + cfg.sSide, YU: y + cfg.sSide},
+			Data: int32(i),
+		}
+	}
+	return rtree.BulkLoadSTR(opts, items)
+}
+
+// roundLoop commits staged mutations on a ticker and repairs a broken
+// server by reopening the store.
+func roundLoop(ctx context.Context, srv *server.Server, every time.Duration, logger *log.Logger) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		if srv.Broken() {
+			if err := srv.Reopen(); err != nil {
+				logger.Printf("reopen: %v", err)
+				continue
+			}
+			logger.Printf("reopened after storage fault")
+		}
+		if srv.Pending() == 0 {
+			continue
+		}
+		rs, err := srv.Round()
+		if err != nil {
+			logger.Printf("round: %v", err)
+			continue
+		}
+		logger.Printf("round: epoch %d, %d ops, %d pages written",
+			rs.Epoch, rs.Applied, rs.Commit.PagesWritten)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP surface
+// ---------------------------------------------------------------------------
+
+type opJSON struct {
+	XL     float64 `json:"xl"`
+	YL     float64 `json:"yl"`
+	XU     float64 `json:"xu"`
+	YU     float64 `json:"yu"`
+	Data   int32   `json:"data"`
+	Delete bool    `json:"delete,omitempty"`
+}
+
+type joinReqJSON struct {
+	Workers      int  `json:"workers,omitempty"`
+	DiscardPairs bool `json:"discard_pairs,omitempty"`
+}
+
+type joinRespJSON struct {
+	Epoch   uint64     `json:"epoch"`
+	Count   int        `json:"count"`
+	Retries int        `json:"retries,omitempty"`
+	Pairs   [][2]int32 `json:"pairs,omitempty"`
+}
+
+// newMux builds the daemon's HTTP handler around a join server.
+func newMux(srv *server.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
+		var ops []opJSON
+		if err := json.NewDecoder(r.Body).Decode(&ops); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		batch := make([]server.Op, len(ops))
+		for i, op := range ops {
+			batch[i] = server.Op{
+				Rect:   geom.Rect{XL: op.XL, YL: op.YL, XU: op.XU, YU: op.YU},
+				Data:   op.Data,
+				Delete: op.Delete,
+			}
+		}
+		if err := srv.Update(batch); err != nil {
+			httpJoinError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]int{"staged": len(batch)})
+	})
+	mux.HandleFunc("POST /round", func(w http.ResponseWriter, r *http.Request) {
+		rs, err := srv.Round()
+		if err != nil {
+			httpJoinError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rs)
+	})
+	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
+		var req joinReqJSON
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		resp, err := srv.Join(r.Context(), server.JoinRequest{
+			Workers:      req.Workers,
+			DiscardPairs: req.DiscardPairs,
+		})
+		if err != nil {
+			httpJoinError(w, err)
+			return
+		}
+		out := joinRespJSON{Epoch: resp.Epoch, Count: resp.Count, Retries: resp.Retries}
+		if !req.DiscardPairs {
+			out.Pairs = make([][2]int32, len(resp.Pairs))
+			for i, p := range resp.Pairs {
+				out.Pairs[i] = [2]int32{p.R, p.S}
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Snapshot())
+	})
+	return mux
+}
+
+// httpJoinError maps the server's typed errors onto HTTP status codes.
+func httpJoinError(w http.ResponseWriter, err error) {
+	var shed *server.ShedError
+	switch {
+	case errors.As(err, &shed):
+		w.Header().Set("Retry-After", fmt.Sprintf("%g", shed.RetryAfter.Seconds()))
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, server.ErrDeadline):
+		httpError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, join.ErrCancelled):
+		// 499: client closed request (nginx convention).
+		httpError(w, 499, err)
+	case errors.Is(err, server.ErrServerBroken), errors.Is(err, server.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

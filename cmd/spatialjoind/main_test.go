@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newTestDaemon(t *testing.T) http.Handler {
+	t.Helper()
+	cfg := daemonConfig{
+		db:       "r.db",
+		pageSize: storage.PageSize1K,
+		sItems:   200,
+		sSide:    0.02,
+		seed:     42,
+	}
+	srv, closeStorage, err := buildServer(storage.NewMemVFS(), cfg)
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		closeStorage()
+	})
+	return newMux(srv)
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestDaemonUpdateRoundJoin drives the full HTTP surface: stage inserts,
+// observe they are invisible until a round, then join and read them back.
+func TestDaemonUpdateRoundJoin(t *testing.T) {
+	h := newTestDaemon(t)
+
+	// Joining the empty relation returns no pairs.
+	w := doJSON(t, h, "POST", "/join", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("join on empty: %d %s", w.Code, w.Body)
+	}
+	var empty joinRespJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &empty); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if empty.Count != 0 {
+		t.Fatalf("empty relation produced %d pairs", empty.Count)
+	}
+
+	// Stage rectangles covering the whole unit square: every S item matches.
+	ops := []opJSON{}
+	for i := 0; i < 4; i++ {
+		ops = append(ops, opJSON{XL: 0, YL: 0, XU: 1.1, YU: 1.1, Data: int32(i)})
+	}
+	w = doJSON(t, h, "POST", "/update", ops)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("update: %d %s", w.Code, w.Body)
+	}
+
+	// Still invisible: no round has run.
+	w = doJSON(t, h, "POST", "/join", nil)
+	var before joinRespJSON
+	json.Unmarshal(w.Body.Bytes(), &before)
+	if before.Count != 0 {
+		t.Fatalf("staged ops visible before round: %d pairs", before.Count)
+	}
+
+	w = doJSON(t, h, "POST", "/round", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("round: %d %s", w.Code, w.Body)
+	}
+
+	w = doJSON(t, h, "POST", "/join", joinReqJSON{Workers: 2})
+	if w.Code != http.StatusOK {
+		t.Fatalf("join: %d %s", w.Code, w.Body)
+	}
+	var after joinRespJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &after); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if want := 4 * 200; after.Count != want {
+		t.Fatalf("join count = %d, want %d", after.Count, want)
+	}
+	if len(after.Pairs) != after.Count {
+		t.Fatalf("pairs materialised %d, count %d", len(after.Pairs), after.Count)
+	}
+	if after.Epoch <= empty.Epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", empty.Epoch, after.Epoch)
+	}
+
+	// DiscardPairs suppresses the pair payload but keeps the count.
+	w = doJSON(t, h, "POST", "/join", joinReqJSON{DiscardPairs: true})
+	var discard joinRespJSON
+	json.Unmarshal(w.Body.Bytes(), &discard)
+	if discard.Count != after.Count || len(discard.Pairs) != 0 {
+		t.Fatalf("discard_pairs: count=%d pairs=%d", discard.Count, len(discard.Pairs))
+	}
+}
+
+// TestDaemonStatsAndErrors exercises /stats and the error mapping of the
+// remaining surface.
+func TestDaemonStatsAndErrors(t *testing.T) {
+	h := newTestDaemon(t)
+
+	w := doJSON(t, h, "GET", "/stats", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", w.Code, w.Body)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+
+	// Malformed update body.
+	req := httptest.NewRequest("POST", "/update", bytes.NewBufferString("{not json"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed update: %d", rec.Code)
+	}
+
+	// Deletes round-trip: insert then delete the same rect, count returns
+	// to zero.
+	rect := opJSON{XL: 0, YL: 0, XU: 1.1, YU: 1.1, Data: 7}
+	doJSON(t, h, "POST", "/update", []opJSON{rect})
+	doJSON(t, h, "POST", "/round", nil)
+	del := rect
+	del.Delete = true
+	doJSON(t, h, "POST", "/update", []opJSON{del})
+	doJSON(t, h, "POST", "/round", nil)
+	w = doJSON(t, h, "POST", "/join", nil)
+	var resp joinRespJSON
+	json.Unmarshal(w.Body.Bytes(), &resp)
+	if resp.Count != 0 {
+		t.Fatalf("after insert+delete, join count = %d, want 0", resp.Count)
+	}
+}
+
+// TestDaemonShedMapsToRetryAfter forces cost-based shedding and checks the
+// 503 + Retry-After mapping.
+func TestDaemonShedMapsToRetryAfter(t *testing.T) {
+	cfg := daemonConfig{
+		db:         "r.db",
+		pageSize:   storage.PageSize1K,
+		sItems:     200,
+		sSide:      0.02,
+		seed:       42,
+		costBudget: 1, // 1ns: every request exceeds the budget
+	}
+	srv, closeStorage, err := buildServer(storage.NewMemVFS(), cfg)
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		closeStorage()
+	})
+	h := newMux(srv)
+
+	w := doJSON(t, h, "POST", "/join", nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("shed request: %d %s", w.Code, w.Body)
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" {
+		t.Fatalf("shed response missing Retry-After")
+	}
+}
+
+// TestDaemonPersistsAcrossRestart commits via the HTTP surface, tears the
+// daemon down, rebuilds it on the same VFS and checks the data survived.
+func TestDaemonPersistsAcrossRestart(t *testing.T) {
+	vfs := storage.NewMemVFS()
+	cfg := daemonConfig{db: "r.db", pageSize: storage.PageSize1K, sItems: 200, sSide: 0.02, seed: 42}
+
+	srv, closeStorage, err := buildServer(vfs, cfg)
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	h := newMux(srv)
+	doJSON(t, h, "POST", "/update", []opJSON{{XL: 0, YL: 0, XU: 1.1, YU: 1.1, Data: 7}})
+	if w := doJSON(t, h, "POST", "/round", nil); w.Code != http.StatusOK {
+		t.Fatalf("round: %d %s", w.Code, w.Body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	closeStorage()
+
+	srv2, closeStorage2, err := buildServer(vfs, cfg)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	t.Cleanup(func() {
+		srv2.Close()
+		closeStorage2()
+	})
+	w := doJSON(t, newMux(srv2), "POST", "/join", nil)
+	var resp joinRespJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Count != 200 {
+		t.Fatalf("after restart, join count = %d, want 200", resp.Count)
+	}
+}

@@ -1,0 +1,140 @@
+package buffer
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// payloadReader serves deterministic per-page payloads and counts reads.
+type payloadReader struct {
+	reads int
+}
+
+func (r *payloadReader) ReadPage(id storage.PageID) ([]byte, error) {
+	r.reads++
+	return []byte(fmt.Sprintf("page-%d", id)), nil
+}
+
+// TestPageCacheBasics: put/get round trip, LRU eviction at the page budget,
+// invalidation, and the stats counters.
+func TestPageCacheBasics(t *testing.T) {
+	c := NewPageCache(2)
+	k1 := FrameKey{Tree: 1, Page: 1}
+	k2 := FrameKey{Tree: 1, Page: 2}
+	k3 := FrameKey{Tree: 1, Page: 3}
+
+	c.Put(k1, []byte("one"))
+	c.Put(k2, []byte("two"))
+	if got, ok := c.Get(k1); !ok || !bytes.Equal(got, []byte("one")) {
+		t.Fatalf("get k1 = %q, %v", got, ok)
+	}
+	c.Put(k3, []byte("three")) // evicts k2 (k1 was just touched)
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("k2 survived eviction past the budget")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Fatal("k1 evicted although most recently used")
+	}
+	c.Invalidate(k1)
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("k1 served after invalidation")
+	}
+	st := c.Stats()
+	if st.Capacity != 2 || st.Evictions != 1 {
+		t.Fatalf("stats %+v: want capacity 2, 1 eviction", st)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("stats %+v: hits and misses must both have counted", st)
+	}
+
+	// The cached payload is a private copy: mutating the source buffer after
+	// Put must not corrupt the cache.
+	src := []byte("mutable")
+	c.Put(k2, src)
+	src[0] = 'X'
+	if got, _ := c.Get(k2); !bytes.Equal(got, []byte("mutable")) {
+		t.Fatalf("cache shares the caller's buffer: %q", got)
+	}
+
+	// Zero capacity disables caching.
+	z := NewPageCache(0)
+	z.Put(k1, []byte("x"))
+	if _, ok := z.Get(k1); ok {
+		t.Fatal("zero-capacity cache stored a page")
+	}
+}
+
+// TestTrackerPageCacheServesMisses pins the satellite contract: with a page
+// cache attached, a counted miss whose frame is cached performs no physical
+// read — only cold misses reach the pager — while the counted disk reads
+// (the simulation's I/O measure) are unchanged.
+func TestTrackerPageCacheServesMisses(t *testing.T) {
+	m := metrics.NewCollector()
+	// Counted LRU of 1 page: alternating accesses to two pages are counted
+	// misses every time.
+	tr := NewTracker(NewLRU(1), m, 1024, false)
+	r := &payloadReader{}
+	tr.SetPageReader(1, r)
+	tr.SetPageCache(NewPageCache(16))
+
+	for i := 0; i < 10; i++ {
+		tr.Access(1, 0, 7)
+		tr.Access(1, 0, 8)
+	}
+	if got := m.Snapshot().DiskReads; got != 20 {
+		t.Fatalf("counted %d disk reads, want 20 (cache must not change counting)", got)
+	}
+	if r.reads != 2 {
+		t.Fatalf("%d physical reads, want 2: the cache must serve repeated misses", r.reads)
+	}
+	st := tr.PageCache().Stats()
+	if st.Hits != 18 || st.Misses != 2 {
+		t.Fatalf("cache stats %+v, want 18 hits / 2 misses", st)
+	}
+
+	// Invalidation punches through to the pager again.
+	tr.PageCache().Invalidate(FrameKey{Tree: 1, Page: 7})
+	tr.Access(1, 0, 7)
+	if r.reads != 3 {
+		t.Fatalf("%d physical reads after invalidation, want 3", r.reads)
+	}
+
+	// Detaching restores the strict mirror-read invariant.
+	tr.SetPageCache(nil)
+	tr.Access(1, 0, 8)
+	tr.Access(1, 0, 7)
+	if r.reads != 5 {
+		t.Fatalf("%d physical reads after detach, want 5", r.reads)
+	}
+}
+
+// TestPageCacheConcurrent hammers one cache from many goroutines (for -race).
+func TestPageCacheConcurrent(t *testing.T) {
+	c := NewPageCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := FrameKey{Tree: g % 3, Page: storage.PageID(i % 100)}
+				if i%7 == 0 {
+					c.Invalidate(key)
+				} else if i%3 == 0 {
+					c.Put(key, []byte{byte(i)})
+				} else {
+					c.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Pages > 64 {
+		t.Fatalf("cache exceeded its budget: %d pages", st.Pages)
+	}
+}

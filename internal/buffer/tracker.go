@@ -18,6 +18,7 @@ type Tracker struct {
 	usePath  bool
 	paths    map[int]*PathBuffer
 	readers  map[int]PageReader
+	cache    *PageCache
 	readErr  error
 }
 
@@ -87,13 +88,33 @@ func (t *Tracker) Access(tree, level int, id storage.PageID) bool {
 		// Counted miss = real read: the page leaves the disk exactly when the
 		// simulation says it does.  A read failure (torn page, dead sector
 		// after retries) is latched and surfaced by the join, not swallowed.
-		if _, err := r.ReadPage(id); err != nil {
+		// With a page cache attached the hierarchy is real: a cached frame is
+		// served from memory and only a cache miss reaches the pager.
+		if t.cache != nil {
+			if _, ok := t.cache.Get(key); !ok {
+				if data, err := r.ReadPage(id); err != nil {
+					t.readErr = err
+				} else {
+					t.cache.Put(key, data)
+				}
+			}
+		} else if _, err := r.ReadPage(id); err != nil {
 			t.readErr = err
 		}
 	}
 	t.lru.Insert(key)
 	return false
 }
+
+// SetPageCache attaches a shared page cache below the counted LRU: counted
+// misses of trees with an attached PageReader are first served from the
+// cache, and only cache misses perform a physical read (whose bytes are then
+// cached).  Pass nil to detach and restore the strict counted-miss ==
+// physical-read invariant of the disk experiments.
+func (t *Tracker) SetPageCache(c *PageCache) { t.cache = c }
+
+// PageCache returns the attached page cache, or nil.
+func (t *Tracker) PageCache() *PageCache { return t.cache }
 
 // SetPageReader attaches a real page source for the given tree; pass nil to
 // detach.  While attached, every counted disk read of that tree performs a
@@ -142,5 +163,6 @@ func (t *Tracker) Reconfigure(m *metrics.Collector, pageSize int, usePathBuffer 
 	t.usePath = usePathBuffer
 	clear(t.paths)
 	clear(t.readers)
+	t.cache = nil
 	t.readErr = nil
 }

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServerTortureHarness is the acceptance property of the concurrent join
+// server: an open-loop churn+query workload under scripted flaky reads, a
+// dead disk, failing fsyncs and a mid-round power cut must answer every
+// admitted query with a result bit-identical to the sequential model or a
+// clean typed error — never a hang, never a torn snapshot — and recover to
+// the last committed round after every destructive phase.
+func TestServerTortureHarness(t *testing.T) {
+	cfg := ServerTortureConfig{}
+	if testing.Short() {
+		cfg = ServerTortureConfig{Items: 200, SItems: 150, Waves: 2, QueriesPerWave: 6, ChurnPerRound: 25}
+	}
+	report := RunServerTorture(cfg)
+	for _, f := range report.Failures {
+		t.Errorf("%s", f)
+	}
+	if report.GoroutinesLeaked > 0 {
+		t.Errorf("%d goroutines leaked past shutdown", report.GoroutinesLeaked)
+	}
+	if len(report.Phases) != 6 {
+		t.Fatalf("ran %d phases, want 6", len(report.Phases))
+	}
+	byName := map[string]ServerPhaseResult{}
+	for _, p := range report.Phases {
+		byName[p.Name] = p
+	}
+	for _, name := range []string{"clean", "flaky-reads"} {
+		p := byName[name]
+		if p.Done == 0 || p.Done != p.Queries-p.Shed {
+			t.Errorf("%s: done=%d queries=%d shed=%d, want every admitted query verified",
+				name, p.Done, p.Queries, p.Shed)
+		}
+		if p.Rounds == 0 {
+			t.Errorf("%s: no churn round committed", name)
+		}
+	}
+	if p := byName["transient-read"]; p.Retried == 0 {
+		t.Errorf("transient-read: retry path not exercised")
+	}
+	for _, name := range []string{"dead-reads", "sync-fail", "power-cut"} {
+		p := byName[name]
+		if p.Broken == 0 {
+			t.Errorf("%s: no query observed ErrServerBroken", name)
+		}
+		if p.Recovery == 0 {
+			t.Errorf("%s: recovery time not recorded", name)
+		}
+	}
+	if report.Verified == 0 {
+		t.Errorf("no query result was verified against the model")
+	}
+
+	var sb strings.Builder
+	PrintServerReport(&sb, report)
+	if !strings.Contains(sb.String(), "no violations") {
+		t.Errorf("report did not declare a clean run:\n%s", sb.String())
+	}
+	t.Logf("\n%s", sb.String())
+}

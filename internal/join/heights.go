@@ -69,6 +69,9 @@ func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.T
 			e.emitLeafDir(h.ids[q], found.Data, swapped)
 		}
 		for _, id := range h.dirIdx {
+			if e.cancel.cancelled() {
+				return
+			}
 			de := dir.Entries[id]
 			h.queries = h.queries[:0]
 			h.ids = h.ids[:0]
@@ -104,6 +107,9 @@ func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.T
 		e.local.PairsTested += int64(len(h.pairs))
 		e.local.FlushTo(e.metrics)
 		for _, p := range h.pairs {
+			if e.cancel.cancelled() {
+				return
+			}
 			le := leaf.Entries[h.leafIdx[p.R]]
 			de := dir.Entries[h.dirIdx[p.S]]
 			dirTree.AccessNode(e.tracker, de.Child)
@@ -120,6 +126,9 @@ func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.T
 		for _, il := range h.leafIdx {
 			le := leaf.Entries[il]
 			for _, id := range h.dirIdx {
+				if e.cancel.cancelled() {
+					return
+				}
 				de := dir.Entries[id]
 				e.local.PairsTested++
 				ok, cost := geom.IntersectsCost(le.Rect, de.Rect)

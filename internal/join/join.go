@@ -13,6 +13,7 @@
 package join
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -140,6 +141,15 @@ type Options struct {
 	// OnPair, if non-nil, is called for every result pair in the order the
 	// algorithm produces them (before any materialisation).
 	OnPair func(Pair)
+	// Context, if non-nil, cancels the join: the traversal polls the
+	// context's Done signal (mirrored into an atomic flag) at node-pair
+	// granularity, abandons the descent and returns ErrCancelled wrapping
+	// the context's cause, so errors.Is against context.Canceled and
+	// context.DeadlineExceeded distinguishes cancellation from a deadline.
+	// Partial results are discarded deterministically — a cancelled join
+	// never returns a Result — though an OnPair callback may have observed
+	// a prefix of the pair stream.
+	Context context.Context
 	// PageReaderR and PageReaderS attach real page sources for the two trees
 	// (keyed by their node identifiers, as rtree.TreeStore serves them).
 	// When set, every counted disk read of the sequential join also performs
@@ -147,6 +157,12 @@ type Options struct {
 	// A physical read failure aborts the join with the wrapped error.
 	PageReaderR buffer.PageReader
 	PageReaderS buffer.PageReader
+	// PageCache, if non-nil, attaches a shared byte cache below the counted
+	// LRU: counted misses of trees with an attached PageReader are served
+	// from the cache when possible and only cache misses reach the pager.
+	// Leaving it nil keeps the strict counted-miss == physical-read
+	// invariant of the disk experiments.
+	PageCache *buffer.PageCache
 }
 
 // Result is the outcome of a join.
@@ -321,6 +337,9 @@ func Join(r, s *rtree.Tree, opts Options) (*Result, error) {
 	if r.PageSize() != s.PageSize() {
 		return nil, fmt.Errorf("%w: %d vs %d", ErrPageSizeMismatch, r.PageSize(), s.PageSize())
 	}
+	if opts.Context != nil && opts.Context.Err() != nil {
+		return nil, cancelErr(opts.Context)
+	}
 	collector := opts.Collector
 	if collector == nil {
 		collector = metrics.NewCollector()
@@ -335,7 +354,12 @@ func Join(r, s *rtree.Tree, opts Options) (*Result, error) {
 	if opts.PageReaderS != nil {
 		tracker.SetPageReader(s.ID(), opts.PageReaderS)
 	}
+	if opts.PageCache != nil {
+		tracker.SetPageCache(opts.PageCache)
+	}
 
+	watch := newCancelWatch(opts.Context)
+	defer watch.stop()
 	ar := arenaPool.Get().(*arena)
 	e := &executor{
 		r:       r,
@@ -344,6 +368,7 @@ func Join(r, s *rtree.Tree, opts Options) (*Result, error) {
 		metrics: collector,
 		opts:    opts,
 		arena:   ar,
+		cancel:  watch,
 		onPair:  opts.OnPair,
 		discard: opts.DiscardPairs,
 	}
@@ -366,6 +391,9 @@ func Join(r, s *rtree.Tree, opts Options) (*Result, error) {
 	e.local.FlushTo(collector)
 	arenaPool.Put(ar)
 
+	if opts.Context != nil && opts.Context.Err() != nil {
+		return nil, cancelErr(opts.Context)
+	}
 	if err := tracker.ReadErr(); err != nil {
 		return nil, fmt.Errorf("join: physical page read failed: %w", err)
 	}
@@ -389,6 +417,7 @@ type executor struct {
 	local   metrics.Local
 	opts    Options
 	arena   *arena
+	cancel  *cancelWatch
 	sorter  idxSorter
 	zsorter zkeySorter
 

@@ -23,8 +23,14 @@ func (e *executor) nestedLoop() {
 		}
 	})
 	for _, rn := range rLeaves {
+		if e.cancel.cancelled() {
+			return
+		}
 		e.r.AccessNode(e.tracker, rn)
 		for _, sn := range sLeaves {
+			if e.cancel.cancelled() {
+				return
+			}
 			e.s.AccessNode(e.tracker, sn)
 			var comps int64
 			for _, er := range rn.Entries {
@@ -51,6 +57,11 @@ func (e *executor) runSJ1() {
 // sj1 is the straightforward join: every entry of nr is tested against every
 // entry of ns; qualifying directory pairs are descended into.
 func (e *executor) sj1(nr, ns *rtree.Node) {
+	// One cancellation poll per node pair: an abandoned descent unwinds here
+	// without touching further pages, and Join discards the partial result.
+	if e.cancel.cancelled() {
+		return
+	}
 	if leafDir := e.handleHeightDifference(nr, ns, nil); leafDir {
 		e.local.FlushTo(e.metrics)
 		return
@@ -119,6 +130,9 @@ func rootIntersection(r, s *rtree.Tree) (geom.Rect, bool) {
 // indices in the depth's scratch frame, so the restriction allocates nothing
 // in steady state.
 func (e *executor) sj2(nr, ns *rtree.Node, rect geom.Rect, depth int) {
+	if e.cancel.cancelled() {
+		return
+	}
 	if leafDir := e.handleHeightDifference(nr, ns, &rect); leafDir {
 		e.local.FlushTo(e.metrics)
 		return

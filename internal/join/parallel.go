@@ -186,6 +186,11 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 		}
 		return res, err
 	}
+	if opts.Context != nil && opts.Context.Err() != nil {
+		return nil, cancelErr(opts.Context)
+	}
+	watch := newCancelWatch(opts.Context)
+	defer watch.stop()
 	workers := popts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -209,6 +214,7 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	var plan metrics.Local
 	ps := getPlanState(opts.BufferBytes, r.PageSize(), opts.UsePathBuffer, collector)
 	planTracker := ps.tracker
+	attachReaders(planTracker, r, s, opts)
 	r.AccessNode(planTracker, r.Root())
 	s.AccessNode(planTracker, s.Root())
 	var tasks []parallelTask
@@ -231,7 +237,7 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 		minTasks = workers * popts.MinTasksPerWorker
 	}
 	var scratches []*splitScratch
-	for len(tasks) > 0 && len(tasks) < minTasks {
+	for len(tasks) > 0 && len(tasks) < minTasks && !watch.cancelled() {
 		split, ok := splitTasksParallel(r, s, tasks, planTracker, &plan, workers, &scratches)
 		if !ok {
 			break
@@ -239,7 +245,14 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 		tasks = split
 	}
 	plan.FlushTo(collector)
+	planErr := planTracker.ReadErr()
 	planPool.Put(ps)
+	if watch.cancelled() {
+		return nil, cancelErr(opts.Context)
+	}
+	if planErr != nil {
+		return nil, fmt.Errorf("join: physical page read failed while planning: %w", planErr)
+	}
 
 	res := &Result{Method: opts.Method, Strategy: popts.Strategy}
 	res.PlanMetrics = collector.Snapshot().Sub(before)
@@ -320,6 +333,7 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		ws[w] = getParallelWorker(perWorkerBuffer, r.PageSize(), opts.UsePathBuffer)
+		attachReaders(ws[w].tracker, r, s, opts)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -332,11 +346,15 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 				metrics: worker.col,
 				opts:    opts,
 				arena:   ar,
+				cancel:  watch,
 				onPair:  onPair,
 				discard: opts.DiscardPairs,
 				pairs:   worker.pairs,
 			}
 			runTask := func(t parallelTask) {
+				if watch.cancelled() {
+					return
+				}
 				worker.tasks++
 				rect, ok := t.er.Rect.Intersection(t.es.Rect)
 				if !ok {
@@ -369,6 +387,9 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 				var stealBuf []int32
 				var drainedEst, actualSec float64
 				for {
+					if watch.cancelled() {
+						break
+					}
 					i, ok := q.pop(est)
 					if !ok {
 						if !steal(queues, w, &stealBuf, est, flight) {
@@ -405,12 +426,15 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 				pacer.finish(w)
 			case schedule != nil:
 				for _, i := range schedule[w] {
+					if watch.cancelled() {
+						break
+					}
 					runTask(tasks[i])
 				}
 			default:
 				for {
 					i := next.Add(1) - 1
-					if i >= int64(len(tasks)) {
+					if i >= int64(len(tasks)) || watch.cancelled() {
 						break
 					}
 					runTask(tasks[i])
@@ -433,10 +457,14 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	}
 	res.WorkerMetrics = make([]metrics.Snapshot, workers)
 	res.WorkerTasks = make([]int, workers)
+	var readErr error
 	for w := 0; w < workers; w++ {
 		worker := ws[w]
 		res.WorkerMetrics[w] = worker.col.Snapshot()
 		res.WorkerTasks[w] = worker.tasks
+		if err := worker.tracker.ReadErr(); err != nil && readErr == nil {
+			readErr = err
+		}
 		collector.AddSnapshot(res.WorkerMetrics[w])
 		res.Count += workerCounts[w]
 		if !opts.DiscardPairs {
@@ -447,7 +475,31 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 		parallelWorkerPool.Put(worker)
 	}
 	res.Metrics = collector.Snapshot().Sub(before)
+	// Worker state went back to the pools above even on cancellation; only
+	// the assembled result is withheld, deterministically.
+	if opts.Context != nil && opts.Context.Err() != nil {
+		return nil, cancelErr(opts.Context)
+	}
+	if readErr != nil {
+		return nil, fmt.Errorf("join: physical page read failed: %w", readErr)
+	}
 	return res, nil
+}
+
+// attachReaders wires the measured-I/O hooks (per-tree PageReaders and the
+// optional shared PageCache) into a tracker, so ParallelJoin's planning and
+// worker trackers follow the same physical-read discipline as the
+// sequential join.
+func attachReaders(tr *buffer.Tracker, r, s *rtree.Tree, opts Options) {
+	if opts.PageReaderR != nil {
+		tr.SetPageReader(r.ID(), opts.PageReaderR)
+	}
+	if opts.PageReaderS != nil {
+		tr.SetPageReader(s.ID(), opts.PageReaderS)
+	}
+	if opts.PageCache != nil {
+		tr.SetPageCache(opts.PageCache)
+	}
 }
 
 // splitScratch holds the buffers splitTasks reuses across split rounds: the

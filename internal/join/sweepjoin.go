@@ -27,6 +27,11 @@ func (e *executor) runSweep(method Method) {
 // nothing; the accumulated costs are flushed to the shared collector once
 // when the node pair is done.
 func (e *executor) sweepJoin(nr, ns *rtree.Node, rect geom.Rect, method Method, depth int) {
+	// One cancellation poll per node pair (see Options.Context): the descent
+	// unwinds without reading further pages and Join discards the partials.
+	if e.cancel.cancelled() {
+		return
+	}
 	if handled := e.handleHeightDifference(nr, ns, &rect); handled {
 		e.local.FlushTo(e.metrics)
 		return

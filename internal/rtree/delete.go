@@ -9,7 +9,7 @@ import "repro/internal/geom"
 func (t *Tree) Delete(rect geom.Rect, data int32) bool {
 	a := &t.build
 	a.orphans = a.orphans[:0]
-	found := t.deleteRec(t.root, rect, data, &a.orphans)
+	found := t.deleteRec(t.ownRoot(), rect, data, &a.orphans)
 	if !found {
 		return false
 	}
@@ -64,7 +64,11 @@ func (t *Tree) deleteRec(n *Node, rect geom.Rect, data int32, orphans *[]pending
 		if !n.Entries[i].Rect.Intersects(rect) {
 			continue
 		}
-		child := n.Entries[i].Child
+		// Own the child before descending: the recursion mutates it when it
+		// finds the entry.  A child searched but not containing the entry is
+		// copied spuriously — same identifier, same bytes, so the incremental
+		// store commit still diffs it clean.
+		child := t.ownChild(n, i)
 		if !t.deleteRec(child, rect, data, orphans) {
 			continue
 		}

@@ -35,12 +35,13 @@ func (t *Tree) InsertItems(items []Item) {
 // insertEntry inserts e at the given level (0 for data entries), growing the
 // tree if the root splits.
 func (t *Tree) insertEntry(e Entry, level int) {
-	if level > t.root.Level {
+	root := t.ownRoot()
+	if level > root.Level {
 		// Can only happen if the tree shrank while re-insertions were queued;
 		// with level == root level the entry joins the root directly.
-		level = t.root.Level
+		level = root.Level
 	}
-	split, ok := t.insertRec(t.root, e, level)
+	split, ok := t.insertRec(root, e, level)
 	if !ok {
 		return
 	}
@@ -72,7 +73,7 @@ func (t *Tree) insertRec(n *Node, e Entry, level int) (Entry, bool) {
 		}
 	} else {
 		idx := t.chooseSubtree(n, e.Rect)
-		child := n.Entries[idx].Child
+		child := t.ownChild(n, idx)
 		split, ok := t.insertRec(child, e, level)
 		n.Entries[idx].Rect = child.MBR()
 		if ok {

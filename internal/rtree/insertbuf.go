@@ -55,18 +55,35 @@ const DefaultHintFillPercent = 90
 // stays O(1) amortised — one O(fan-out) summary per 8 appends.
 const hintResampleEvery = 8
 
-// InsertBuffer stages inserts for one tree and applies them in Hilbert order.
+// stagedOp is one buffered mutation: an insert or, with del set, a delete of
+// exactly the given rectangle and object identifier.
+type stagedOp struct {
+	item Item
+	del  bool
+}
+
+// InsertBuffer stages inserts — and deletes, EMBANKS-style — for one tree
+// and applies each batch as a single Hilbert-ordered round: all staged
+// mutations are sorted by the Hilbert key of their rectangle centres and
+// applied in curve order, so spatially neighbouring inserts and deletes land
+// together and the leaf-hint fast path keeps its run length even through
+// mixed batches.  Stable sorting keeps equal-key operations in staging
+// order, so an insert staged after a delete of the same rectangle still
+// applies after it.
+//
 // It is not safe for concurrent use, mirroring the tree's mutation contract.
 // Mutating the tree directly between Stage and Flush is allowed: the buffer
 // detects the interleaved mutation through the tree's mutation counter and
 // drops its leaf hint instead of touching a node the mutation may have
-// dissolved.
+// dissolved.  Applied deletes advance the same counter, so a staged delete
+// that lands in (or dissolves) the hinted leaf invalidates the hint before
+// the next buffered insert can append to it.
 type InsertBuffer struct {
 	t        *Tree
 	capacity int
 	hintFill int // max entries the fast path fills a leaf to
 
-	items []Item
+	ops   []stagedOp
 	keys  []uint64
 	order []int32
 	srt   hilbertOrderSorter
@@ -77,10 +94,13 @@ type InsertBuffer struct {
 	hintMBR   geom.Rect
 	hintEpoch int64
 
-	staged   int
-	applied  int
-	hintHits int
-	flushes  int
+	staged       int
+	applied      int
+	hintHits     int
+	flushes      int
+	deletes      int // staged deletes
+	deletesDone  int // applied deletes that found their entry
+	deleteMisses int // applied deletes whose entry was not in the tree
 }
 
 // NewInsertBuffer returns an insertion buffer over t that flushes
@@ -117,21 +137,47 @@ func (b *InsertBuffer) SetHintFillPercent(pct int) {
 // Stage adds one rectangle to the buffer, flushing if the batch is full.  The
 // rectangle is not visible in the tree until the flush that applies it.
 func (b *InsertBuffer) Stage(rect geom.Rect, data int32) {
-	b.items = append(b.items, Item{Rect: rect, Data: data})
+	b.ops = append(b.ops, stagedOp{item: Item{Rect: rect, Data: data}})
 	b.staged++
-	if len(b.items) >= b.capacity {
+	if len(b.ops) >= b.capacity {
 		b.Flush()
 	}
 }
 
-// Len returns the number of staged, not yet applied rectangles.
-func (b *InsertBuffer) Len() int { return len(b.items) }
+// StageDelete stages the removal of one data entry with exactly the given
+// rectangle and object identifier, flushing if the batch is full.  The entry
+// stays visible in the tree until the flush that applies the delete; a
+// staged delete of an entry the tree does not hold (or that a staged insert
+// of the same batch has not yet applied, if it sorts later) counts as a
+// delete miss, mirroring Tree.Delete's return value.
+func (b *InsertBuffer) StageDelete(rect geom.Rect, data int32) {
+	b.ops = append(b.ops, stagedOp{item: Item{Rect: rect, Data: data}, del: true})
+	b.staged++
+	b.deletes++
+	if len(b.ops) >= b.capacity {
+		b.Flush()
+	}
+}
 
-// Staged returns the total number of rectangles ever staged.
+// Len returns the number of staged, not yet applied mutations.
+func (b *InsertBuffer) Len() int { return len(b.ops) }
+
+// Staged returns the total number of mutations ever staged.
 func (b *InsertBuffer) Staged() int { return b.staged }
 
-// Applied returns the total number of rectangles applied to the tree.
+// Applied returns the total number of rectangles inserted into the tree.
 func (b *InsertBuffer) Applied() int { return b.applied }
+
+// StagedDeletes returns the total number of deletes ever staged.
+func (b *InsertBuffer) StagedDeletes() int { return b.deletes }
+
+// DeletesApplied returns the number of applied deletes that found and
+// removed their entry.
+func (b *InsertBuffer) DeletesApplied() int { return b.deletesDone }
+
+// DeleteMisses returns the number of applied deletes whose entry was not in
+// the tree at apply time.
+func (b *InsertBuffer) DeleteMisses() int { return b.deleteMisses }
 
 // HintHits returns how many applied inserts took the leaf-hint fast path
 // (appended to the previous insert's leaf without a root descent).
@@ -140,26 +186,27 @@ func (b *InsertBuffer) HintHits() int { return b.hintHits }
 // Flushes returns how many batches have been applied.
 func (b *InsertBuffer) Flushes() int { return b.flushes }
 
-// Flush sorts the staged rectangles along the Hilbert curve of their centres
-// and applies every one of them to the tree (the apply order is a permutation
-// of the staged batch).  A flush of an empty buffer is a no-op.
+// Flush sorts the staged mutations along the Hilbert curve of their centres
+// and applies every one of them to the tree as one spatially-ordered mixed
+// round (the apply order is a permutation of the staged batch; equal keys
+// keep staging order).  A flush of an empty buffer is a no-op.
 func (b *InsertBuffer) Flush() {
-	if len(b.items) == 0 {
+	if len(b.ops) == 0 {
 		return
 	}
 	// The curve is laid over the union of the staged rectangles and the
 	// tree's current bounds, so batch keys and tree geometry share one frame.
-	world := b.items[0].Rect
-	for _, it := range b.items[1:] {
-		world = world.Union(it.Rect)
+	world := b.ops[0].item.Rect
+	for _, op := range b.ops[1:] {
+		world = world.Union(op.item.Rect)
 	}
 	if bounds, ok := b.t.Bounds(); ok {
 		world = world.Union(bounds)
 	}
 	b.keys = b.keys[:0]
 	b.order = b.order[:0]
-	for i, it := range b.items {
-		b.keys = append(b.keys, zorder.HilbertKey(it.Rect.Center(), world))
+	for i, op := range b.ops {
+		b.keys = append(b.keys, zorder.HilbertKey(op.item.Rect.Center(), world))
 		b.order = append(b.order, int32(i))
 	}
 	// Stable on the staging order, so equal keys keep a deterministic order.
@@ -167,10 +214,26 @@ func (b *InsertBuffer) Flush() {
 	sort.Stable(&b.srt)
 	b.srt.order, b.srt.keys = nil, nil
 	for _, i := range b.order {
-		b.applyOne(b.items[i])
+		op := b.ops[i]
+		if op.del {
+			b.applyDelete(op.item)
+		} else {
+			b.applyOne(op.item)
+		}
 	}
-	b.items = b.items[:0]
+	b.ops = b.ops[:0]
 	b.flushes++
+}
+
+// applyDelete removes one staged entry.  Tree.Delete advances the mutation
+// counter, so the leaf hint — which may point at the very leaf the delete
+// just shrank or dissolved — can never serve the next insert of the batch.
+func (b *InsertBuffer) applyDelete(it Item) {
+	if b.t.Delete(it.Rect, it.Data) {
+		b.deletesDone++
+	} else {
+		b.deleteMisses++
+	}
 }
 
 // applyOne inserts one rectangle, through the leaf-hint fast path when it

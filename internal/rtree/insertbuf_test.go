@@ -260,6 +260,114 @@ func FuzzInsertBuffer(f *testing.F) {
 	})
 }
 
+// TestInsertBufferStagedDeleteInvalidatesHint is the regression test for the
+// mixed-batch hint hazard: a staged delete that lands in the hinted leaf must
+// invalidate the hint before the next buffered insert of the same batch, or
+// that insert would append into a leaf the delete just shrank (or dissolved)
+// without re-checking it.  The delete goes through Tree.Delete, which bumps
+// the mutation counter the hint is epoch-checked against — this test pins
+// that the check actually fires inside a single flush.
+func TestInsertBufferStagedDeleteInvalidatesHint(t *testing.T) {
+	tr := MustNew(smallOpts(RStar)) // M = 8, hintFill = 7
+	buf := NewInsertBuffer(tr, 64)
+	rect := geom.Rect{XL: 0.4, YL: 0.4, XU: 0.6, YU: 0.6}
+
+	// Warm the hint: identical rectangles, so after the first full descent the
+	// remaining four ride the fast path into one leaf.
+	for i := int32(0); i < 5; i++ {
+		buf.Stage(rect, i)
+	}
+	buf.Flush()
+	if buf.HintHits() != 4 {
+		t.Fatalf("warmup: %d hint hits, want 4", buf.HintHits())
+	}
+	if buf.hint == nil || buf.hintEpoch != tr.muts {
+		t.Fatal("warmup left no hot hint — test premise broken")
+	}
+
+	// One mixed batch: a delete of an entry in the hinted leaf, then an insert
+	// the stale hint would accept (covered by the hint MBR, leaf has room).
+	// Identical centres give equal Hilbert keys, and the stable sort keeps
+	// staging order, so the delete is applied first.
+	buf.StageDelete(rect, 0)
+	buf.Stage(rect, 100)
+	buf.Flush()
+
+	if buf.DeletesApplied() != 1 || buf.DeleteMisses() != 0 {
+		t.Fatalf("delete counters: applied=%d misses=%d, want 1/0",
+			buf.DeletesApplied(), buf.DeleteMisses())
+	}
+	// The insert after the delete must NOT have taken the hint path: the
+	// delete advanced the mutation epoch, so the hint was dropped.
+	if buf.HintHits() != 4 {
+		t.Fatalf("insert after staged delete took the stale hint path: %d hint hits, want still 4", buf.HintHits())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Item{{rect, 1}, {rect, 2}, {rect, 3}, {rect, 4}, {rect, 100}}
+	sortItems(want)
+	if !itemsEqual(treeContents(tr), want) {
+		t.Fatal("mixed batch left wrong contents")
+	}
+}
+
+// TestInsertBufferMixedBatches drives interleaved insert/delete batches
+// (EMBANKS-style mixed rounds) against a reference model: every flush applies
+// one Hilbert-ordered permutation of the staged mutations, deliberate deletes
+// of absent entries are counted as misses, and the counter identity
+// StagedDeletes == DeletesApplied + DeleteMisses holds throughout.
+func TestInsertBufferMixedBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := MustNew(Options{PageSize: 8 * storage.EntrySize})
+	buf := NewInsertBuffer(tr, 256)
+	var live []Item // applied in earlier rounds and still present
+	next := int32(0)
+	wantMisses := 0
+	for round := 0; round < 40; round++ {
+		// Interleave: stage inserts and deletes in alternating runs so the
+		// sorted batch genuinely mixes the two op kinds.  Deletes only target
+		// entries applied in earlier rounds — a delete of an insert staged in
+		// the same batch could sort before it and legitimately miss.
+		var fresh []Item
+		for i := 0; i < 24; i++ {
+			it := randomItem(rng, next)
+			next++
+			buf.Stage(it.Rect, it.Data)
+			fresh = append(fresh, it)
+			if i%2 == 1 && len(live) > 12 {
+				j := rng.Intn(len(live))
+				buf.StageDelete(live[j].Rect, live[j].Data)
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		// One guaranteed miss per round: an identifier never inserted.
+		buf.StageDelete(randomItem(rng, -1-int32(round)).Rect, -1-int32(round))
+		wantMisses++
+		buf.Flush()
+		live = append(live, fresh...)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("round %d: tree holds %d, model %d", round, tr.Len(), len(live))
+		}
+	}
+	if buf.DeleteMisses() != wantMisses {
+		t.Fatalf("%d delete misses, want %d", buf.DeleteMisses(), wantMisses)
+	}
+	if buf.StagedDeletes() != buf.DeletesApplied()+buf.DeleteMisses() {
+		t.Fatalf("counter identity broken: staged=%d applied=%d misses=%d",
+			buf.StagedDeletes(), buf.DeletesApplied(), buf.DeleteMisses())
+	}
+	want := append([]Item(nil), live...)
+	sortItems(want)
+	if !itemsEqual(treeContents(tr), want) {
+		t.Fatal("tree contents diverged from the model after mixed batches")
+	}
+}
+
 // BenchmarkInsertBuffered compares plain dynamic insertion with the
 // Hilbert-buffered path at the package level (the end-to-end build benchmark
 // lives in the repo root's bench_test.go).

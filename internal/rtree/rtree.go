@@ -108,6 +108,10 @@ type Node struct {
 	Level int
 	// Entries are the node's slots, between m and M for non-root nodes.
 	Entries []Entry
+	// epoch is the copy-on-write epoch the node was created (or copied) in;
+	// nodes whose epoch predates the tree's latest snapshot fence are shared
+	// with that snapshot and must be copied before mutation (see snapshot.go).
+	epoch int64
 }
 
 // IsLeaf reports whether the node is a leaf (level 0).
@@ -156,6 +160,11 @@ type Tree struct {
 	// the insertion buffer's leaf hint uses it to detect that the tree changed
 	// underneath a cached leaf pointer (see insertbuf.go).
 	muts int64
+	// cowEpoch is the copy-on-write epoch fence: nodes stamped with an older
+	// epoch are shared with a published snapshot and are copied before any
+	// mutation (see snapshot.go).  0 until the first Snapshot, in which case
+	// every ownership check short-circuits.
+	cowEpoch int64
 }
 
 type pendingEntry struct {
@@ -204,9 +213,10 @@ func MustNew(opts Options) *Tree {
 	return t
 }
 
-// newNode allocates a node with a fresh page identifier.
+// newNode allocates a node with a fresh page identifier, owned by the
+// current write epoch.
 func (t *Tree) newNode(level int) *Node {
-	return &Node{ID: t.file.Allocate(), Level: level}
+	return &Node{ID: t.file.Allocate(), Level: level, epoch: t.cowEpoch}
 }
 
 // ID returns the process-wide unique identifier of the tree, used to

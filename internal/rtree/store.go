@@ -3,7 +3,9 @@ package rtree
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/buffer"
 	"repro/internal/storage"
 )
 
@@ -20,16 +22,31 @@ import (
 // keyed by) to the pager's page identifiers and performs the physical read,
 // so counted and measured I/O describe the same pages.
 //
-// TreeStore is not safe for concurrent mutation, mirroring the tree's own
-// contract; concurrent ReadPage calls (parallel joins) are safe once no
-// commit is in flight.
+// TreeStore serializes commits against reads with one RWMutex: Commit holds
+// the write lock for the whole transaction, ReadPage and EpochReader hold
+// the read lock across the pager read, so concurrent readers (server query
+// workers) can never observe a half-committed page table.  Mutating the
+// bound tree itself still follows the tree's single-writer contract.
 type TreeStore struct {
 	t *Tree
 	p *storage.Pager
 
+	mu     sync.RWMutex
 	byNode map[storage.PageID]storage.PageID // node id -> pager page
 	owner  map[storage.PageID]storage.PageID // pager page -> node id
 	crcs   map[storage.PageID]uint32         // pager page -> checksum of last written payload
+
+	// seq counts commits through this store; writtenAt records, per node
+	// identifier, the seq whose commit last changed (or freed) its bytes.
+	// EpochReader uses the pair to decide which pages still carry a
+	// snapshot's state and which must be served from the snapshot's nodes.
+	seq       uint64
+	writtenAt map[storage.PageID]uint64
+
+	// cache, when attached, is kept write-through-consistent: every page a
+	// commit rewrites or frees is invalidated under the commit lock.
+	cache     *buffer.PageCache
+	cacheTree int
 }
 
 // CommitStats describes one TreeStore commit.
@@ -51,11 +68,12 @@ func NewTreeStore(t *Tree, p *storage.Pager) (*TreeStore, error) {
 			p.PageSize(), t.opts.PageSize)
 	}
 	return &TreeStore{
-		t:      t,
-		p:      p,
-		byNode: make(map[storage.PageID]storage.PageID),
-		owner:  make(map[storage.PageID]storage.PageID),
-		crcs:   make(map[storage.PageID]uint32),
+		t:         t,
+		p:         p,
+		byNode:    make(map[storage.PageID]storage.PageID),
+		owner:     make(map[storage.PageID]storage.PageID),
+		crcs:      make(map[storage.PageID]uint32),
+		writtenAt: make(map[storage.PageID]uint64),
 	}, nil
 }
 
@@ -121,11 +139,34 @@ func (s *TreeStore) Tree() *Tree { return s.t }
 // Pager returns the bound pager.
 func (s *TreeStore) Pager() *storage.Pager { return s.p }
 
+// Seq returns the number of commits performed through this store.
+func (s *TreeStore) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// SetPageCache attaches a shared page cache to keep write-through
+// consistent: every page a commit rewrites or frees is invalidated (keyed by
+// node identifier under the given tree id, the key trackers use).  Pass nil
+// to detach.
+func (s *TreeStore) SetPageCache(c *buffer.PageCache, treeID int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = c
+	s.cacheTree = treeID
+}
+
 // Commit makes the tree's current state durable as one pager transaction and
 // returns what it cost.  Only pages whose encoded bytes changed since the
 // last commit are written; pages of nodes that no longer exist are freed.
+// The whole transaction holds the store's write lock, so concurrent readers
+// see either the previous or the new page table, never a mix.
 func (s *TreeStore) Commit() (CommitStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	t := s.t
+	seq := s.seq + 1
 
 	// Pass 1: assign a pager page to every live node (children before
 	// parents does not matter here — only the assignment must be complete
@@ -156,6 +197,10 @@ func (s *TreeStore) Commit() (CommitStats, error) {
 		delete(s.byNode, nodeID)
 		delete(s.owner, page)
 		delete(s.crcs, page)
+		s.writtenAt[nodeID] = seq
+		if s.cache != nil {
+			s.cache.Invalidate(buffer.FrameKey{Tree: s.cacheTree, Page: nodeID})
+		}
 	}
 
 	// Pass 3: encode every live node and write the ones whose bytes moved.
@@ -189,6 +234,10 @@ func (s *TreeStore) Commit() (CommitStats, error) {
 			return
 		}
 		s.crcs[page] = crc
+		s.writtenAt[n.ID] = seq
+		if s.cache != nil {
+			s.cache.Invalidate(buffer.FrameKey{Tree: s.cacheTree, Page: n.ID})
+		}
 		stats.PagesWritten++
 	})
 	if commitErr != nil {
@@ -197,19 +246,23 @@ func (s *TreeStore) Commit() (CommitStats, error) {
 
 	stats.Root = s.byNode[t.root.ID]
 	s.p.SetRoot(stats.Root)
-	seq, err := s.p.Commit()
+	pagerSeq, err := s.p.Commit()
 	if err != nil {
 		return stats, err
 	}
-	stats.Seq = seq
+	s.seq = seq
+	stats.Seq = pagerSeq
 	return stats, nil
 }
 
 // ReadPage implements the buffer tracker's PageReader: it resolves the
 // tree's node identifier to its pager page and reads it from disk.  Reading
 // a node that was never committed is an error — the join must only ever
-// touch committed state.
+// touch committed state.  The read lock is held across the pager read, so a
+// concurrent Commit cannot swap the page out from under the caller.
 func (s *TreeStore) ReadPage(id storage.PageID) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	page, ok := s.byNode[id]
 	if !ok {
 		return nil, fmt.Errorf("rtree: node %d has no committed page: %w", id, storage.ErrUnknownPage)

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/buffer"
+	"repro/internal/rtree"
+)
+
+// epoch is one published snapshot generation: the immutable tree readers
+// join against and the page source serving its committed pages.  Readers pin
+// an epoch with a refcount before touching it and release it when the join
+// finishes; the writer supersedes the current epoch at each round boundary.
+// A superseded epoch is retired the moment its last reader drains — or
+// immediately, on the zero-reader fast path.  Retirement is bookkeeping, not
+// a lifetime hazard: the snapshot and its EpochReader stay valid for any
+// reader that pinned before the flip, however many rounds the writer has
+// moved on (the version store keeps serving pages the writer rewrote), so a
+// parked reader can never observe a torn tree.
+type epoch struct {
+	seq    uint64
+	tree   *rtree.Tree        // immutable snapshot
+	reader *rtree.EpochReader // page source at this epoch's commit boundary
+
+	// cache is the epoch-private page cache.  It must not be shared across
+	// epochs: a COW copy keeps its page identifier, so the same (tree, node)
+	// key names different bytes in different epochs — a shared cache would
+	// let a parked reader serve one epoch's bytes to another.  Within one
+	// epoch every page is immutable, so the private cache needs no
+	// invalidation, and it dies with the epoch.
+	cache *buffer.PageCache
+
+	readers    atomic.Int64
+	superseded atomic.Bool
+	retireOnce sync.Once
+	retired    chan struct{} // closed on retirement
+}
+
+func newEpoch(seq uint64, tree *rtree.Tree, reader *rtree.EpochReader, cache *buffer.PageCache) *epoch {
+	return &epoch{seq: seq, tree: tree, reader: reader, cache: cache, retired: make(chan struct{})}
+}
+
+// retire runs the epoch's retirement exactly once.
+func (e *epoch) retire(onRetire func(*epoch)) {
+	e.retireOnce.Do(func() {
+		close(e.retired)
+		if onRetire != nil {
+			onRetire(e)
+		}
+	})
+}
+
+// pin acquires a read reference on the server's current epoch.  The recheck
+// loop guarantees freshness, not safety: pinning an epoch the writer flipped
+// away a moment earlier would still be sound, but re-reading the pointer
+// keeps readers on the newest snapshot and keeps the transient reference
+// from delaying the old epoch's retirement.
+func (s *Server) pin() *epoch {
+	for {
+		e := s.cur.Load()
+		e.readers.Add(1)
+		if s.cur.Load() == e {
+			return e
+		}
+		s.unpin(e)
+	}
+}
+
+// unpin releases a read reference; the last reader out of a superseded epoch
+// retires it.  The retireOnce makes the race against the writer's own
+// zero-reader check (and against transient pin/unpin pairs from the recheck
+// loop) harmless.
+func (s *Server) unpin(e *epoch) {
+	if e.readers.Add(-1) == 0 && e.superseded.Load() {
+		e.retire(s.onRetire)
+	}
+}
+
+// flip publishes a new epoch and supersedes the previous one, retiring it on
+// the spot when no reader holds it (the zero-reader fast path).
+func (s *Server) flip(next *epoch) {
+	prev := s.cur.Swap(next)
+	s.stats.EpochsCreated.Add(1)
+	if prev == nil {
+		return
+	}
+	prev.superseded.Store(true)
+	if prev.readers.Load() == 0 {
+		prev.retire(s.onRetire)
+	}
+}
+
+func (s *Server) onRetire(*epoch) {
+	s.stats.EpochsRetired.Add(1)
+}

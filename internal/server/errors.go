@@ -1,0 +1,55 @@
+// Package server is the concurrent join front-end over one mutable indexed
+// dataset: many readers join against an immutable epoch snapshot while a
+// single writer applies Hilbert-ordered mixed batches, flipping snapshots
+// atomically at round boundaries.  The robustness layer bounds every failure
+// mode with a typed error: overload sheds (ErrShed with a retry hint),
+// deadlines cancel mid-traversal (ErrDeadline), and storage faults that
+// survive retry make the server sticky-broken (ErrServerBroken) until Reopen
+// recovers it — an admitted query therefore always terminates with either a
+// result identical to the sequential join on its snapshot or one of these
+// errors, never a hang and never a torn tree.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed errors every admitted or rejected request resolves to.
+var (
+	// ErrShed rejects a request at admission: the queued work already
+	// exceeds the server's cost budget or its slot capacity.  The error is
+	// a *ShedError carrying a retry hint.
+	ErrShed = errors.New("server: overloaded, request shed")
+	// ErrDeadline marks a request cancelled by its deadline; the join's
+	// partial work was discarded deterministically.
+	ErrDeadline = errors.New("server: deadline exceeded")
+	// ErrServerBroken is returned for every request after a storage fault
+	// survived the retry budget (or the pager itself reported
+	// storage.ErrPagerBroken).  The state is sticky: only Reopen, which
+	// re-runs pager recovery and rebuilds the epoch, clears it.
+	ErrServerBroken = errors.New("server: storage broken, reopen required")
+	// ErrClosed is returned once Close has begun.
+	ErrClosed = errors.New("server: closed")
+)
+
+// ShedError is the concrete type behind ErrShed.
+type ShedError struct {
+	// RetryAfter estimates when enough queued work will have drained for
+	// the request to be admitted.
+	RetryAfter time.Duration
+	// Queued is the number of requests in flight when the request was
+	// rejected.
+	Queued int
+	// EstimatedCost is the cost-model estimate for the rejected request.
+	EstimatedCost time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("server: overloaded, request shed (%d queued, est %v, retry after %v)",
+		e.Queued, e.EstimatedCost, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrShed) true for every *ShedError.
+func (e *ShedError) Unwrap() error { return ErrShed }

@@ -61,6 +61,17 @@ func NewFaultFS(base *MemVFS, script FaultScript) *FaultFS {
 	return &FaultFS{base: base, script: script}
 }
 
+// SetScript replaces the fault script mid-run.  The operation counters keep
+// counting, so schedules like ReadErrEvery stay deterministic across the
+// switch; a fired crash is not un-fired.  The server torture harness uses
+// this to drive phased workloads (clean, then flaky reads, then a failing
+// sync) over one filesystem.
+func (f *FaultFS) SetScript(script FaultScript) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.script = script
+}
+
 // Ops returns the number of file operations observed so far (including the
 // failing one, if the crash fired).
 func (f *FaultFS) Ops() int64 {
