@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// TestRepoLintsClean pins the tree-wide contract CI enforces: the full
+// repository, with its annotations and documented suppressions, produces
+// zero findings.  A new true positive anywhere fails this test before it
+// fails the CI lint job.
+func TestRepoLintsClean(t *testing.T) {
+	n, err := run([]string{"./..."})
+	if err != nil {
+		t.Fatalf("repolint ./...: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("repolint ./... reported %d finding(s); the tree must lint clean", n)
+	}
+}
+
+// TestDeliberateViolationFails is the acceptance check for the accounting
+// contract: a join-shaped package that reads pages raw from the pager
+// (testdata/src/joinviolation, excluded from ./... and linted explicitly
+// here) must fail the run.
+func TestDeliberateViolationFails(t *testing.T) {
+	n, err := run([]string{"./internal/analysis/testdata/src/joinviolation"})
+	if err != nil {
+		t.Fatalf("repolint joinviolation: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("a raw Pager read in a join path produced no findings; the accounting analyzer is not protecting the measured I/O")
+	}
+}

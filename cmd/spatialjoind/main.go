@@ -158,26 +158,22 @@ func buildServer(vfs storage.VFS, cfg daemonConfig) (*server.Server, func(), err
 	if pager.Root() == storage.InvalidPage {
 		tree, err := rtree.New(treeOpts)
 		if err != nil {
-			pager.Close()
-			return nil, nil, err
+			return nil, nil, errors.Join(err, pager.Close())
 		}
 		store, err = rtree.NewTreeStore(tree, pager)
 		if err != nil {
-			pager.Close()
-			return nil, nil, err
+			return nil, nil, errors.Join(err, pager.Close())
 		}
 	} else {
 		store, err = rtree.OpenTreeStore(pager, treeOpts)
 		if err != nil {
-			pager.Close()
-			return nil, nil, err
+			return nil, nil, errors.Join(err, pager.Close())
 		}
 	}
 
 	sTree, err := buildS(treeOpts, cfg)
 	if err != nil {
-		pager.Close()
-		return nil, nil, err
+		return nil, nil, errors.Join(err, pager.Close())
 	}
 
 	// curPager tracks the live pager across reopens so shutdown checkpoints
@@ -195,28 +191,31 @@ func buildServer(vfs storage.VFS, cfg daemonConfig) (*server.Server, func(), err
 		Reopen: func() (*rtree.TreeStore, error) {
 			mu.Lock()
 			defer mu.Unlock()
-			curPager.Close() // best effort; the pager is likely broken
+			// The old pager is being replaced precisely because a fault broke
+			// it, so its close error carries no new information.
+			//repolint:ignore latchederr reopen discards the broken pager; its latched error is why we are here
+			curPager.Close()
 			p, err := storage.OpenPager(vfs, cfg.db, cfg.pageSize, pagerOpts)
 			if err != nil {
 				return nil, err
 			}
 			ts, err := rtree.OpenTreeStore(p, treeOpts)
 			if err != nil {
-				p.Close()
-				return nil, err
+				return nil, errors.Join(err, p.Close())
 			}
 			curPager = p
 			return ts, nil
 		},
 	})
 	if err != nil {
-		pager.Close()
-		return nil, nil, err
+		return nil, nil, errors.Join(err, pager.Close())
 	}
 	closeStorage := func() {
 		mu.Lock()
 		defer mu.Unlock()
-		curPager.Close()
+		if err := curPager.Close(); err != nil {
+			log.Printf("spatialjoind: closing pager: %v", err)
+		}
 	}
 	return srv, closeStorage, nil
 }

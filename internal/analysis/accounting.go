@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Accounting enforces the counted-I/O contract: every page that leaves the
+// disk must be charged through buffer.Tracker (whose counted miss performs
+// the physical read via the PageReader hook), so the simulation's counted
+// reads and the pager's measured reads can never diverge. Raw page reads —
+// (*storage.Pager).Read — and raw node decodes — storage.DecodeNode — are
+// therefore confined to:
+//
+//   - the storage package itself (the pager owns its own frames), and
+//   - functions annotated `//repro:io-boundary`: the sanctioned wrappers
+//     (TreeStore.ReadPage, EpochReader.ReadPage, the persist/recovery
+//     walks) that sit between the tracker and the pager.
+//
+// Everything else — a join path, an experiment, a test helper promoted into
+// shipped code — gets flagged: read through the tracker, or add the page to
+// the sanctioned surface explicitly.
+var Accounting = &Analyzer{
+	Name: "accounting",
+	Doc:  "confine raw pager reads and node decodes to //repro:io-boundary wrappers",
+	Run:  runAccounting,
+}
+
+func runAccounting(pass *Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/storage") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/storage") {
+				return true
+			}
+			var what string
+			if recv := fn.Signature().Recv(); recv != nil {
+				_, name := namedOrigin(recv.Type())
+				if name == "Pager" && fn.Name() == "Read" {
+					what = "raw page read (*storage.Pager).Read"
+				}
+			} else if fn.Name() == "DecodeNode" {
+				what = "raw node decode storage.DecodeNode"
+			}
+			if what == "" {
+				return true
+			}
+			if fd := funcDeclFor(f, call.Pos()); fd != nil && hasAnnotation(fd.Doc, "repro:io-boundary") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s outside a //repro:io-boundary wrapper: counted I/O would diverge from measured I/O; read through buffer.Tracker instead", what)
+			return true
+		})
+	}
+	return nil
+}

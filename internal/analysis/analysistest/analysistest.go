@@ -1,0 +1,176 @@
+// Package analysistest runs analyzers over golden packages under
+// internal/analysis/testdata/src and checks their diagnostics against
+// `// want "regexp"` comments, following the convention of
+// golang.org/x/tools/go/analysis/analysistest (reimplemented on the
+// standard library because this module builds offline with no
+// dependencies).
+//
+// A `// want "re"` comment at the end of a line expects at least one
+// diagnostic on that line whose message matches re; several quoted patterns
+// expect several diagnostics. Diagnostics with no matching want, and wants
+// with no matching diagnostic, fail the test. Because the runner applies
+// the driver's `//repolint:ignore` suppression first, a testdata violation
+// carrying an ignore comment and no want doubles as the golden test for the
+// suppression machinery.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+	loaderErr  error
+)
+
+// sharedLoader memoizes one loader (and so one type-checked stdlib) across
+// all golden tests in the process.
+func sharedLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = analysis.NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("analysistest: building loader: %v", loaderErr)
+	}
+	return loader
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Run loads the golden package at internal/analysis/testdata/src/<pkg> and
+// checks the analyzers' surviving diagnostics against its want comments.
+func Run(t *testing.T, pkg string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	diags, dir := Diagnostics(t, pkg, analyzers...)
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	checkDiagnostics(t, diags, wants)
+}
+
+// Diagnostics loads the golden package and returns the surviving (post-
+// suppression) diagnostics and the package directory, without want
+// checking — for tests that assert on the diagnostics directly (e.g. the
+// malformed-ignore case, where a want comment would become the ignore's
+// reason).
+func Diagnostics(t *testing.T, pkg string, analyzers ...*analysis.Analyzer) ([]analysis.Diagnostic, string) {
+	t.Helper()
+	l := sharedLoader(t)
+	dir := filepath.Join(l.Root, "internal", "analysis", "testdata", "src", filepath.FromSlash(pkg))
+	importPath := l.ModulePath + "/internal/analysis/testdata/src/" + pkg
+	p, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", pkg, err)
+	}
+	diags, err := analysis.Run(p, analyzers)
+	if err != nil {
+		t.Fatalf("analysistest: running analyzers on %s: %v", pkg, err)
+	}
+	return diags, dir
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE accepts both backtick-quoted and double-quoted patterns, like
+// x/tools analysistest.
+var quotedRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func collectWants(dir string) ([]*want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+				pat := q[1]
+				if pat == "" {
+					pat = q[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", path, i+1, pat, err)
+				}
+				wants = append(wants, &want{file: path, line: i + 1, re: re, raw: pat})
+			}
+		}
+	}
+	return wants, nil
+}
+
+func checkDiagnostics(t *testing.T, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.line != d.Pos.Line || filepath.Base(w.file) != filepath.Base(d.Pos.Filename) {
+				continue
+			}
+			if w.re.MatchString(d.Message) || w.re.MatchString(d.Analyzer+": "+d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

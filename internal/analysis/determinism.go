@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the bit-identical-output contract of the measured
+// packages: any package whose doc comment carries `//repro:measured` (the
+// join, rtree, sweep and costmodel packages — their outputs are pinned by
+// seed goldens) must not read wall-clock time, draw from math/rand's global
+// source, or depend on map iteration order.
+//
+// Flagged inside measured packages:
+//   - time.Now / time.Since / time.Until (wall-clock reads);
+//   - package-level functions of math/rand and math/rand/v2 except the
+//     New* constructors — rand.New(rand.NewSource(seed)) is deterministic,
+//     the process-global source is not;
+//   - `for ... range m` over a map: iteration order is randomized per run.
+//     Ranges that only collect and then sort, or whose body is order-
+//     independent, are suppressed with a documented //repolint:ignore.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global randomness and map-order dependence in //repro:measured packages",
+	Run:  runDeterminism,
+}
+
+var timeNondet = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDeterminism(pass *Pass) error {
+	if !packageAnnotated(pass.Files, "repro:measured") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true // methods are fine; only package-level sources below
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if timeNondet[fn.Name()] {
+						pass.Reportf(n.Pos(), "call to time.%s in a measured package: outputs must be bit-identical across runs", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !strings.HasPrefix(fn.Name(), "New") {
+						pass.Reportf(n.Pos(), "call to %s.%s uses the process-global random source; use a rand.New(rand.NewSource(seed)) local to the computation", fn.Pkg().Path(), fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "range over a map in a measured package: iteration order is nondeterministic; collect keys and sort, or document order-independence with //repolint:ignore")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath enforces the allocation-free contract on functions annotated
+// `//repro:hotpath` (the join inner loops, the plane sweep, the LRU and the
+// arena paths — PRs 1–2 brought them to ~zero allocs/op and the benchmarks
+// pin it). Inside an annotated function it flags the constructs that
+// reintroduce per-call allocations:
+//
+//   - function literals (the closure header escapes and allocates, the very
+//     regression sweep.AppendPairs was written to remove);
+//   - &T{...} composite literals, new(T) and make(...) (direct heap
+//     allocations — scratch space belongs in the arena/frame);
+//   - interface boxing: passing or assigning a concrete non-pointer value
+//     where an interface is expected (the boxed copy allocates);
+//   - append growth into a different variable (`fresh := append(pool, ...)`
+//     copies the pool; amortized same-variable growth `x = append(x, ...)`
+//     into a reused buffer is the sanctioned idiom and is not flagged).
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag allocating constructs in //repro:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasAnnotation(fd.Doc, "repro:hotpath") {
+				continue
+			}
+			checkHotPathFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotPathFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in a hot path: the capture header allocates per call; hoist state into the arena or a method")
+			return false // the literal's body is not the annotated hot path
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				pass.Reportf(n.Pos(), "&composite literal in a hot path escapes to the heap; reuse scratch space instead")
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if obj, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					switch obj.Name() {
+					case "new", "make":
+						pass.Reportf(n.Pos(), "%s in a hot path allocates per call; preallocate in the arena and reuse", obj.Name())
+					}
+				}
+			}
+			checkBoxingCall(pass, n)
+		case *ast.AssignStmt:
+			checkHotAssign(pass, n)
+		}
+		return true
+	})
+}
+
+// checkHotAssign flags interface boxing in assignments and append growth
+// into a fresh variable.
+func checkHotAssign(pass *Pass, n *ast.AssignStmt) {
+	info := pass.TypesInfo
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" && len(call.Args) > 0 {
+					dst := exprString(sliceBase(n.Lhs[i]))
+					src := exprString(sliceBase(call.Args[0]))
+					if dst != src {
+						pass.Reportf(n.Pos(), "append grows into %q instead of back into %q: the copy allocates; use x = append(x, ...) over a reused buffer", dst, src)
+					}
+					continue
+				}
+			}
+		}
+		lt := info.TypeOf(n.Lhs[i])
+		if lt == nil || !types.IsInterface(lt) {
+			continue
+		}
+		if boxes(info, rhs) {
+			pass.Reportf(rhs.Pos(), "assignment boxes a concrete value into interface %s; keep hot-path state concrete", lt.String())
+		}
+	}
+}
+
+// checkBoxingCall flags concrete non-pointer arguments passed to interface
+// parameters.
+func checkBoxingCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if boxes(info, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes a concrete value into interface %s; pass a pointer or keep the callee concrete", pt.String())
+		}
+	}
+}
+
+// boxes reports whether storing e into an interface allocates: a concrete
+// non-pointer, non-nil, non-interface value does (small-integer interning
+// aside); pointers, interfaces and nil do not.
+func boxes(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	t := tv.Type
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		// pointer-shaped: the interface holds the word directly
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}

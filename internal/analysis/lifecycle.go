@@ -1,0 +1,369 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PinUnpin enforces the paired pin/unpin discipline of the epoch lifecycle
+// (server.pin/unpin) and the buffer pin protocol (Tracker.Pin/Unpin,
+// LRU.Pin/Unpin): a function that pins must release on every path.
+//
+// Two shapes are recognized:
+//
+//   - `e := x.pin()` / `e := x.Pin()` returning a handle: the function must
+//     either `defer x.unpin(e)` or call unpin on e before every later
+//     return (and before falling off the end).
+//   - `x.Pin(args...)` returning nothing: a structurally matching
+//     `x.Unpin(args...)` (same receiver and arguments) must follow on every
+//     path, or be deferred.
+//
+// The path check is lexical, not a full CFG: an unpin anywhere between the
+// pin and a return satisfies that return. That is exactly the discipline
+// the server and join code follow; exotic control flow that releases on a
+// different line documents itself with //repolint:ignore.
+var PinUnpin = &Analyzer{
+	Name: "pinunpin",
+	Doc:  "every Pin must be matched by an Unpin on all paths (deferred, or before each return)",
+	Run:  runPinUnpin,
+}
+
+func isPinName(name string) bool   { return name == "pin" || name == "Pin" }
+func isUnpinName(name string) bool { return name == "unpin" || name == "Unpin" }
+
+// callName returns the bare selector/ident name of the call's callee.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+type unpinSite struct {
+	pos      token.Pos
+	deferred bool
+	key      string // canonical receiver+args, or the handle argument
+}
+
+func runPinUnpin(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Pin/Unpin wrappers forward to an inner pin; the discipline
+			// binds their callers, not them.
+			if isPinName(fd.Name.Name) || isUnpinName(fd.Name.Name) {
+				continue
+			}
+			checkPinUnpinFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkPinUnpinFunc(pass *Pass, fd *ast.FuncDecl) {
+	type pinSite struct {
+		pos token.Pos
+		key string // see unpinSite
+	}
+	var pins []pinSite
+	var unpins []unpinSite
+	var returns []token.Pos
+	assigned := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isUnpinName(callName(n.Call)) {
+				unpins = append(unpins, unpinSite{pos: n.Pos(), deferred: true, key: unpinKey(n.Call)})
+				return false
+			}
+			return true
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.AssignStmt:
+			// e := x.pin()
+			if len(n.Rhs) == 1 && len(n.Lhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isPinName(callName(call)) && len(call.Args) == 0 {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						pins = append(pins, pinSite{pos: n.Pos(), key: id.Name})
+						assigned[call] = true
+						return true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			name := callName(n)
+			if isPinName(name) && !assigned[n] {
+				switch {
+				case len(n.Args) > 0:
+					// Tracker.Pin(tree, id) shape: pair by receiver+args.
+					pins = append(pins, pinSite{pos: n.Pos(), key: unpinKey(n)})
+				case !resultless(pass.TypesInfo, n):
+					// A handle-returning pin whose handle is not bound to a
+					// variable can never be unpinned.
+					pass.Reportf(n.Pos(), "pinned handle is discarded: assign it and unpin on every path")
+				}
+			} else if isUnpinName(name) {
+				unpins = append(unpins, unpinSite{pos: n.Pos(), key: unpinKey(n)})
+			}
+		}
+		return true
+	})
+
+	end := fd.Body.Rbrace
+	for _, pin := range pins {
+		if covered(pin.pos, end, pin.key, unpins, returns) {
+			continue
+		}
+		pass.Reportf(pin.pos, "pin of %s is not released on every path: defer the matching unpin, or unpin before each return", pin.key)
+	}
+}
+
+// covered reports whether every exit after pinPos sees a matching unpin.
+func covered(pinPos, end token.Pos, key string, unpins []unpinSite, returns []token.Pos) bool {
+	matches := func(u unpinSite) bool {
+		if u.key == key {
+			return true
+		}
+		for _, part := range strings.Split(u.key, ",") {
+			if part == key {
+				return true
+			}
+		}
+		return false
+	}
+	for _, u := range unpins {
+		if u.deferred && matches(u) {
+			return true
+		}
+	}
+	exits := make([]token.Pos, 0, len(returns)+1)
+	for _, r := range returns {
+		if r > pinPos {
+			exits = append(exits, r)
+		}
+	}
+	exits = append(exits, end)
+	for _, exit := range exits {
+		ok := false
+		for _, u := range unpins {
+			if !u.deferred && u.pos > pinPos && u.pos < exit && matches(u) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func unpinKey(call *ast.CallExpr) string {
+	var parts []string
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		parts = append(parts, exprString(sel.X))
+	}
+	for _, a := range call.Args {
+		parts = append(parts, exprString(a))
+	}
+	return strings.Join(parts, ",")
+}
+
+func resultless(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		return tuple.Len() == 0
+	}
+	return tv.IsVoid()
+}
+
+// GuardedBy enforces `//repro:guardedBy <mutex>` field annotations: outside
+// the declaring struct's constructor literals, an annotated field may only
+// be read or written in a function that locks the named mutex (a call chain
+// ending in <mutex>.Lock() or <mutex>.RLock()) or that is annotated
+// `//repro:locked` — meaning the caller holds the lock, or the value is not
+// yet shared (constructor/pre-publication paths).
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated //repro:guardedBy must only be touched under their mutex (or in //repro:locked functions)",
+	Run:  runGuardedBy,
+}
+
+func runGuardedBy(pass *Pass) error {
+	// Pass 1: collect annotated fields: *types.Var -> mutex field name.
+	guarded := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := annotationArg(field.Doc, "repro:guardedBy")
+				if mu == "" {
+					mu = annotationArg(field.Comment, "repro:guardedBy")
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag selector accesses outside the lock discipline.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasAnnotation(fd.Doc, "repro:locked") {
+				continue
+			}
+			locked := lockedMutexes(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := pass.TypesInfo.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				mu, ok := guarded[field]
+				if !ok || locked[mu] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "access to %s without holding %s (annotate the function //repro:locked if the caller holds it)", field.Name(), mu)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// lockedMutexes returns the set of field names m for which the body contains
+// a call `<chain>.m.Lock()` or `<chain>.m.RLock()`.
+func lockedMutexes(body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+			out[inner.Sel.Name] = true
+		} else if id, ok := sel.X.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// LatchedErr enforces the sticky-error discipline: the APIs that latch a
+// broken state (pager commits/writes/reads, tree-store commits, the
+// tracker's physical-read error) return errors that must reach a check —
+// discarding one (calling as a bare statement, deferring without capture,
+// or assigning to _) lets a caller keep using a broken component and lose
+// committed state silently.
+var LatchedErr = &Analyzer{
+	Name: "latchederr",
+	Doc:  "never discard errors from latching APIs (Pager/TreeStore/Tracker/Server)",
+	Run:  runLatchedErr,
+}
+
+// latchedMethods maps type name -> methods whose error result must be used.
+// All types live under the repro module; matching is by (suffix of package
+// path, type name, method name).
+var latchedMethods = map[string]map[string]bool{
+	"Pager":     {"Commit": true, "Write": true, "Read": true, "Checkpoint": true, "Close": true},
+	"TreeStore": {"Commit": true, "ReadPage": true},
+	"Tracker":   {"ReadErr": true},
+	"Server":    {"Round": true, "Reopen": true, "Close": true},
+}
+
+func runLatchedErr(pass *Pass) error {
+	check := func(call *ast.CallExpr) (string, bool) {
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), "repro") {
+			return "", false
+		}
+		recv := fn.Signature().Recv()
+		if recv == nil {
+			return "", false
+		}
+		_, tname := namedOrigin(recv.Type())
+		if m := latchedMethods[tname]; m != nil && m[fn.Name()] {
+			return tname + "." + fn.Name(), true
+		}
+		return "", false
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := check(call); ok {
+						pass.Reportf(n.Pos(), "result of %s is discarded: the error latches broken state and must be checked before reuse", name)
+					}
+				}
+			case *ast.DeferStmt:
+				if name, ok := check(n.Call); ok {
+					pass.Reportf(n.Pos(), "deferred %s discards its error: capture it (defer func(){ ... }()) or check it before returning", name)
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					name, ok := check(call)
+					if !ok {
+						continue
+					}
+					// Multi-value: error is the last result; with a single
+					// rhs call, the last lhs receives it.
+					if len(n.Rhs) == 1 {
+						if id, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+							pass.Reportf(n.Pos(), "error of %s is assigned to _: the error latches broken state and must be checked before reuse", name)
+						}
+					} else if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						pass.Reportf(n.Pos(), "error of %s is assigned to _: the error latches broken state and must be checked before reuse", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("repro/internal/join")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing module without the
+// go/packages driver: module-local imports resolve to directories under the
+// module root, everything else (the standard library — this module has no
+// external dependencies) resolves through the stdlib source importer, which
+// works offline. Loaded packages are memoized, so one Loader amortizes the
+// stdlib type-checking across a whole `repolint ./...` run.
+type Loader struct {
+	ModulePath string
+	Root       string // absolute module root directory
+	Fset       *token.FileSet
+
+	std  types.Importer
+	pkgs map[string]*Package
+	errs map[string]error // import path -> sticky load error (cycle-safe)
+}
+
+// NewLoader builds a loader for the module rooted at root, reading the module
+// path from go.mod.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModulePath: modPath,
+		Root:       abs,
+		Fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		errs:       make(map[string]error),
+	}, nil
+}
+
+// Load type-checks the package at the given import path (the module path or a
+// path below it). Test files (_test.go) are excluded: repolint's contracts
+// govern the shipped code, and tests legitimately use seeded randomness and
+// raw storage access.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if err, ok := l.errs[path]; ok {
+		return nil, err
+	}
+	dir, err := l.dirFor(path)
+	if err != nil {
+		l.errs[path] = err
+		return nil, err
+	}
+	p, err := l.LoadDir(dir, path)
+	if err != nil {
+		l.errs[path] = err
+		return nil, err
+	}
+	return p, nil
+}
+
+// LoadDir type-checks the package in dir under the given import path. It is
+// the entry point for testdata packages, whose directories live outside the
+// regular package tree.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func (l *Loader) dirFor(path string) (string, error) {
+	if path == l.ModulePath {
+		return l.Root, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.Root, filepath.FromSlash(rest)), nil
+	}
+	return "", fmt.Errorf("analysis: %q is outside module %s", path, l.ModulePath)
+}
+
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loaderImporter adapts the Loader to types.Importer: module-local paths
+// recurse into the loader, everything else goes to the stdlib source
+// importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// ExpandPatterns resolves package patterns relative to the module root:
+// "./..." (or "all") walks every package directory; "./x/y" names one
+// directory. Directories named testdata, examples hidden dirs, and
+// dependency-free data dirs without Go files are skipped.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "all":
+			err := filepath.WalkDir(l.Root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				ok, err := hasGoFiles(p)
+				if err != nil {
+					return err
+				}
+				if ok {
+					add(l.pathFor(p))
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+			ok, err := hasGoFiles(dir)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: pattern %q: %w", pat, err)
+			}
+			if !ok {
+				return nil, fmt.Errorf("analysis: pattern %q: no Go files in %s", pat, dir)
+			}
+			add(l.pathFor(dir))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (l *Loader) pathFor(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

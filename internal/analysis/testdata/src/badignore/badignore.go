@@ -1,0 +1,11 @@
+// Package badignore pins the suppression grammar: an ignore comment without
+// a reason is itself a finding, so every suppression stays documented. The
+// assertion lives in analyzers_test.go (a want comment here would become
+// the ignore's reason).
+package badignore
+
+// Undocumented carries an ignore with an analyzer name but no reason.
+func Undocumented() int {
+	//repolint:ignore determinism
+	return 1
+}

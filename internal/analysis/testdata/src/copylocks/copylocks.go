@@ -1,0 +1,52 @@
+// Package copylocks is a golden package for the copylocks analyzer:
+// by-value copies of lock-containing values.
+package copylocks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// CopyAssign copies a mutex-bearing struct by value.
+func CopyAssign(g *guarded) {
+	snapshot := *g // want `assignment copies a value of type .*guarded which contains a lock`
+	_ = snapshot
+}
+
+// CopyArg passes a mutex-bearing struct by value.
+func CopyArg(g guarded) int {
+	return use(g) // want `call argument copies a value of type .*guarded`
+}
+
+func use(g guarded) int { return g.n }
+
+// CopyRange copies each element of a mutex-bearing slice.
+func CopyRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range value copies a value of type .*guarded`
+		total += g.n
+	}
+	return total
+}
+
+// PointerUse is the correct form: no findings.
+func PointerUse(gs []*guarded) int {
+	total := 0
+	for _, g := range gs {
+		g.mu.Lock()
+		total += g.n
+		g.mu.Unlock()
+	}
+	return total
+}
+
+// Suppressed documents a copy of a never-shared value.
+func Suppressed() guarded {
+	var g guarded
+	g.n = 1
+	//repolint:ignore copylocks g never escapes this goroutine before the copy
+	cp := g
+	return cp
+}

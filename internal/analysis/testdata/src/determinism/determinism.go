@@ -1,0 +1,55 @@
+// Package determinism is a golden package for the determinism analyzer: it
+// is annotated as a measured package, so wall-clock reads, global
+// randomness and map-order dependence must be flagged.
+//
+//repro:measured
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock in a measured package.
+func Clock() int64 {
+	t := time.Now() // want `call to time\.Now in a measured package`
+	return t.Unix()
+}
+
+// Elapsed uses time.Since, which reads the wall clock too.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `call to time\.Since in a measured package`
+}
+
+// GlobalRand draws from the process-global source.
+func GlobalRand(n int) int {
+	return rand.Intn(n) // want `process-global random source`
+}
+
+// SeededRand is the sanctioned form: a local, explicitly seeded generator.
+func SeededRand(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// SumOrdered ranges over a map to build an output whose order matters.
+func SumOrdered(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `range over a map in a measured package`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SumSorted collects then sorts, so the map order cannot leak; the ignore
+// documents why the range is safe.
+func SumSorted(m map[int]int) []int {
+	var out []int
+	//repolint:ignore determinism keys are collected and sorted below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,59 @@
+// Package guardedby is a golden package for the guardedBy analyzer: fields
+// annotated //repro:guardedBy must only be touched under their mutex.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //repro:guardedBy mu
+
+	// stats is guarded by its own lock to show per-field mutex binding.
+	statsMu sync.Mutex
+	stats   []int //repro:guardedBy statsMu
+}
+
+// Inc holds the lock: no finding.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// RacyRead touches n without the lock.
+func (c *counter) RacyRead() int {
+	return c.n // want `access to n without holding mu`
+}
+
+// WrongLock holds mu but touches the statsMu-guarded field.
+func (c *counter) WrongLock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.stats) // want `access to stats without holding statsMu`
+}
+
+// addLocked is called with mu held; the annotation states the discipline is
+// satisfied externally.
+//
+//repro:locked
+func (c *counter) addLocked(d int) {
+	c.n += d
+}
+
+// Snapshot locks both mutexes and may touch both fields.
+func (c *counter) Snapshot() (int, int) {
+	c.mu.Lock()
+	c.statsMu.Lock()
+	defer c.mu.Unlock()
+	defer c.statsMu.Unlock()
+	return c.n, len(c.stats)
+}
+
+// PrePublication documents a constructor-time access before the value is
+// shared.
+func PrePublication() *counter {
+	c := &counter{}
+	//repolint:ignore guardedby c is not yet shared with any other goroutine
+	c.n = 1
+	return c
+}

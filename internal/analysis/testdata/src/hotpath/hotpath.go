@@ -1,0 +1,71 @@
+// Package hotpath is a golden package for the hot-path allocation
+// analyzer: functions annotated //repro:hotpath must not allocate.
+package hotpath
+
+type counter interface{ Add(int64) }
+
+type pair struct{ a, b int32 }
+
+type scratch struct {
+	pairs []pair
+	buf   []int32
+}
+
+// Emit is the annotated inner loop.
+//
+//repro:hotpath
+func Emit(s *scratch, n int, c counter) {
+	cb := func(i int) { s.buf = append(s.buf, int32(i)) } // want `closure literal in a hot path`
+	for i := 0; i < n; i++ {
+		cb(i)
+	}
+	p := &pair{a: 1, b: 2} // want `&composite literal in a hot path escapes`
+	_ = p
+	tmp := make([]int32, n) // want `make in a hot path allocates per call`
+	_ = tmp
+	fresh := append(s.buf[:0:0], 1) // want `append grows into "fresh" instead of back into "s.buf"`
+	_ = fresh
+	c.Add(1)
+	var total int64
+	for _, p := range s.pairs {
+		total += int64(p.a)
+	}
+	c.Add(total)
+}
+
+// Boxes passes a concrete value where an interface is expected.
+//
+//repro:hotpath
+func Boxes(s *scratch, sink func(any)) {
+	sink(*s) // want `argument boxes a concrete value into interface`
+	sink(s)  // a pointer is interface-word-sized: no finding
+}
+
+// Amortized uses the sanctioned reuse idioms: same-variable append and
+// value composites that stay on the stack.
+//
+//repro:hotpath
+func Amortized(s *scratch, a, b int32) {
+	s.pairs = append(s.pairs, pair{a: a, b: b})
+	s.buf = s.buf[:0]
+}
+
+// Cold is not annotated: the same constructs are fine here.
+func Cold(n int) []int32 {
+	out := make([]int32, 0, n)
+	add := func(v int32) { out = append(out, v) }
+	for i := 0; i < n; i++ {
+		add(int32(i))
+	}
+	return out
+}
+
+// Warmup documents a sanctioned one-time growth inside a hot path.
+//
+//repro:hotpath
+func Warmup(s *scratch, n int) {
+	if cap(s.buf) < n {
+		//repolint:ignore hotpath one-time pool growth until the working set is reached
+		s.buf = make([]int32, 0, n)
+	}
+}

@@ -1,0 +1,48 @@
+// Package latchederr is a golden package for the latched-error analyzer:
+// the pager/tree-store/tracker APIs latch sticky broken state through their
+// error results, so discarding one hides a broken component.
+package latchederr
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// DropCommit discards the commit error as a bare statement.
+func DropCommit(p *storage.Pager) {
+	p.Commit() // want `result of Pager\.Commit is discarded`
+}
+
+// DeferClose discards the close error (a failed final checkpoint would be
+// invisible).
+func DeferClose(p *storage.Pager) {
+	defer p.Close() // want `deferred Pager\.Close discards its error`
+	p.Allocate()
+}
+
+// BlankCommit assigns the error to the blank identifier.
+func BlankCommit(s *rtree.TreeStore) {
+	_, _ = s.Commit() // want `error of TreeStore\.Commit is assigned to _`
+}
+
+// DropReadErr discards the tracker's latched physical-read error.
+func DropReadErr(t *buffer.Tracker) {
+	t.ReadErr() // want `result of Tracker\.ReadErr is discarded`
+}
+
+// CheckedCommit handles the error: no finding.
+func CheckedCommit(p *storage.Pager) error {
+	if _, err := p.Commit(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SuppressedClose documents a shutdown path where the error is deliberately
+// dropped.
+func SuppressedClose(p *storage.Pager) {
+	//repolint:ignore latchederr process is exiting, a close failure has no consumer
+	defer p.Close()
+	p.Allocate()
+}

@@ -1,0 +1,60 @@
+// Package nilness is a golden package for the nilness analyzer: using a
+// value inside the branch that just proved it nil.
+package nilness
+
+type node struct {
+	next  *node
+	value int
+}
+
+// DerefInNilBranch selects through a pointer known to be nil.
+func DerefInNilBranch(n *node) int {
+	if n == nil {
+		return n.value // want `n is nil in this branch; selecting n\.value will panic`
+	}
+	return n.value
+}
+
+// CallNilFunc calls a func value known to be nil.
+func CallNilFunc(f func() int) int {
+	if f == nil {
+		return f() // want `f is nil in this branch; calling it will panic`
+	}
+	return f()
+}
+
+// ElseBranch proves nilness through the negated condition.
+func ElseBranch(n *node) int {
+	if n != nil {
+		return n.value
+	} else {
+		return n.value // want `n is nil in this branch; selecting n\.value will panic`
+	}
+}
+
+// Reassigned is fine: the branch replaces the nil value before use.
+func Reassigned(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.value
+	}
+	return n.value
+}
+
+// NilMapRead is fine: reading a nil map yields the zero value.
+func NilMapRead(m map[int]int) int {
+	if m == nil {
+		return m[1]
+	}
+	return m[1]
+}
+
+// Suppressed documents a deliberate dereference (e.g. to force a panic in
+// a must-style helper).
+func Suppressed(n *node) int {
+	if n == nil {
+		//repolint:ignore nilness must-helper: panicking here is the contract
+		return n.value
+	}
+	return n.value
+}

@@ -1,0 +1,74 @@
+// Package pinunpin is a golden package for the pin/unpin lifecycle
+// analyzer, modeling both protocols of the repo: the server's
+// handle-returning epoch pin and the tracker's keyed page pin.
+package pinunpin
+
+type epoch struct{ readers int }
+
+type server struct{ cur *epoch }
+
+func (s *server) pin() *epoch {
+	s.cur.readers++
+	return s.cur
+}
+
+func (s *server) unpin(e *epoch) { e.readers-- }
+
+type tracker struct{ pins map[int]int }
+
+// Pin pins the page of the given tree.
+func (t *tracker) Pin(tree, id int) { t.pins[tree<<32|id]++ }
+
+// Unpin releases a pin taken with Pin.
+func (t *tracker) Unpin(tree, id int) { t.pins[tree<<32|id]-- }
+
+// LeakOnEarlyReturn pins an epoch and leaks it on the error path: the
+// early return has no unpin before it.
+func LeakOnEarlyReturn(s *server, fail bool) int {
+	e := s.pin() // want `pin of e is not released on every path`
+	if fail {
+		return -1
+	}
+	n := e.readers
+	s.unpin(e)
+	return n
+}
+
+// DeferredRelease is the canonical protocol: pin, defer unpin.
+func DeferredRelease(s *server) int {
+	e := s.pin()
+	defer s.unpin(e)
+	return e.readers
+}
+
+// ReleaseBeforeEachReturn unpins explicitly on both paths.
+func ReleaseBeforeEachReturn(s *server, fast bool) int {
+	e := s.pin()
+	if fast {
+		s.unpin(e)
+		return 0
+	}
+	n := e.readers
+	s.unpin(e)
+	return n
+}
+
+// KeyedLeak pins a page and never unpins that key.
+func KeyedLeak(t *tracker, tree, id int) {
+	t.Pin(tree, id) // want `pin of t,tree,id is not released on every path`
+	t.Unpin(tree, id+1)
+}
+
+// KeyedPaired pins and unpins the same key.
+func KeyedPaired(t *tracker, tree, id int) {
+	t.Pin(tree, id)
+	t.Unpin(tree, id)
+}
+
+// SuppressedHandoff documents a pin that is intentionally released by the
+// caller, not here.
+func SuppressedHandoff(s *server) *epoch {
+	//repolint:ignore pinunpin ownership transfers to the caller, which unpins
+	e := s.pin()
+	return e
+}

@@ -1,0 +1,27 @@
+// Package sortslice is a golden package for the sortslice analyzer:
+// sort.Slice over a non-slice panics at runtime.
+package sortslice
+
+import "sort"
+
+// NotASlice passes an array (not a slice) to sort.Slice.
+func NotASlice(a [4]int) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] }) // want `sort\.Slice expects a slice, got \[4\]int`
+}
+
+// NotEvenIndexable passes a scalar.
+func NotEvenIndexable(n int) bool {
+	return sort.SliceIsSorted(n, func(i, j int) bool { return i < j }) // want `sort\.SliceIsSorted expects a slice, got int`
+}
+
+// RealSlice is fine.
+func RealSlice(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Suppressed documents a value of static type any that always holds a
+// slice — shown here with a concrete array to exercise the suppression.
+func Suppressed(a [4]int) {
+	//repolint:ignore sortslice golden test for the suppression path
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

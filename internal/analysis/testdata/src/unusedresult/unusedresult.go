@@ -1,0 +1,29 @@
+// Package unusedresult is a golden package for the unusedresult analyzer:
+// side-effect-free calls whose result is discarded.
+package unusedresult
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Discarded drops pure results on the floor.
+func Discarded(name string) {
+	fmt.Sprintf("hello %s", name) // want `result of fmt\.Sprintf is discarded`
+	errors.New("lost")            // want `result of errors\.New is discarded`
+	strings.ToUpper(name)         // want `result of strings\.ToUpper is discarded`
+}
+
+// Used consumes every result: no findings.
+func Used(name string) (string, error) {
+	msg := fmt.Sprintf("hello %s", name)
+	return strings.ToUpper(msg), errors.New("kept")
+}
+
+// Suppressed documents a deliberate discard (e.g. warming a cache inside
+// the callee would be a side effect the analyzer cannot see).
+func Suppressed(name string) {
+	//repolint:ignore unusedresult exercising the formatter for a benchmark warm-up
+	fmt.Sprintf("hello %s", name)
+}

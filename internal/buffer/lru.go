@@ -98,6 +98,8 @@ func (b *LRU) Contains(k FrameKey) bool {
 }
 
 // unlink removes node i from the recency list.
+//
+//repro:hotpath
 func (b *LRU) unlink(i int32) {
 	n := &b.nodes[i]
 	if n.prev != nilNode {
@@ -113,6 +115,8 @@ func (b *LRU) unlink(i int32) {
 }
 
 // pushFront links node i in front of the recency list.
+//
+//repro:hotpath
 func (b *LRU) pushFront(i int32) {
 	n := &b.nodes[i]
 	n.prev = nilNode
@@ -128,6 +132,8 @@ func (b *LRU) pushFront(i int32) {
 
 // Touch marks the page as most recently used and reports whether it was
 // buffered.
+//
+//repro:hotpath
 func (b *LRU) Touch(k FrameKey) bool {
 	i, ok := b.frames[k]
 	if !ok {
@@ -144,6 +150,8 @@ func (b *LRU) Touch(k FrameKey) bool {
 // least recently used unpinned page if the buffer is full.  Inserting an
 // already buffered page is equivalent to Touch.  With capacity zero the call
 // is a no-op.
+//
+//repro:hotpath
 func (b *LRU) Insert(k FrameKey) {
 	if b.capacity == 0 {
 		return
@@ -176,6 +184,8 @@ func (b *LRU) Insert(k FrameKey) {
 // evictOne removes the least recently used unpinned page.  If every buffered
 // page is pinned the buffer temporarily grows beyond its capacity; this
 // mirrors the paper's pinning, which never pins more than one page at a time.
+//
+//repro:hotpath
 func (b *LRU) evictOne() {
 	for i := b.tail; i != nilNode; i = b.nodes[i].prev {
 		if b.nodes[i].pins > 0 {

@@ -18,12 +18,18 @@ import "sync"
 type PageCache struct {
 	mu       sync.Mutex
 	capacity int // max cached pages; <= 0 disables caching entirely
-	frames   map[FrameKey]*pcEntry
-	head     *pcEntry // most recently used
-	tail     *pcEntry // least recently used
+	//repro:guardedBy mu
+	frames map[FrameKey]*pcEntry
+	//repro:guardedBy mu
+	head *pcEntry // most recently used
+	//repro:guardedBy mu
+	tail *pcEntry // least recently used
 
-	hits      int64
-	misses    int64
+	//repro:guardedBy mu
+	hits int64
+	//repro:guardedBy mu
+	misses int64
+	//repro:guardedBy mu
 	evictions int64
 }
 
@@ -146,6 +152,9 @@ func (c *PageCache) Reset() {
 	c.hits, c.misses, c.evictions = 0, 0, 0
 }
 
+// pushFront links e as the most recently used entry.
+//
+//repro:locked
 func (c *PageCache) pushFront(e *pcEntry) {
 	e.prev = nil
 	e.next = c.head
@@ -158,6 +167,9 @@ func (c *PageCache) pushFront(e *pcEntry) {
 	}
 }
 
+// unlink removes e from the recency list.
+//
+//repro:locked
 func (c *PageCache) unlink(e *pcEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
@@ -172,6 +184,9 @@ func (c *PageCache) unlink(e *pcEntry) {
 	e.prev, e.next = nil, nil
 }
 
+// moveToFront marks e as the most recently used entry.
+//
+//repro:locked
 func (c *PageCache) moveToFront(e *pcEntry) {
 	if c.head == e {
 		return
@@ -180,6 +195,9 @@ func (c *PageCache) moveToFront(e *pcEntry) {
 	c.pushFront(e)
 }
 
+// evictTail drops the least recently used entry.
+//
+//repro:locked
 func (c *PageCache) evictTail() {
 	e := c.tail
 	if e == nil {

@@ -138,3 +138,135 @@ func TestPageCacheConcurrent(t *testing.T) {
 		t.Fatalf("cache exceeded its budget: %d pages", st.Pages)
 	}
 }
+
+// TestPageCacheEvictionOrder pins the exact LRU order over a longer churn:
+// touching via Get and re-putting both refresh recency, and eviction always
+// takes the coldest page.
+func TestPageCacheEvictionOrder(t *testing.T) {
+	c := NewPageCache(3)
+	key := func(p int) FrameKey { return FrameKey{Tree: 1, Page: storage.PageID(p)} }
+	c.Put(key(1), []byte("1"))
+	c.Put(key(2), []byte("2"))
+	c.Put(key(3), []byte("3"))
+
+	c.Get(key(1))               // order (MRU..LRU): 1 3 2
+	c.Put(key(2), []byte("2'")) // re-put refreshes: 2 1 3
+	c.Put(key(4), []byte("4"))  // evicts 3:         4 2 1
+	if _, ok := c.Get(key(3)); ok {
+		t.Fatal("page 3 survived although least recently used")
+	}
+	for _, p := range []int{1, 2, 4} {
+		if _, ok := c.Get(key(p)); !ok {
+			t.Fatalf("page %d evicted out of LRU order", p)
+		}
+	}
+	if got, _ := c.Get(key(2)); !bytes.Equal(got, []byte("2'")) {
+		t.Fatalf("re-put did not replace payload: %q", got)
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Pages != 3 {
+		t.Fatalf("stats %+v: want exactly 1 eviction, 3 pages", st)
+	}
+
+	// Reset drops pages and counters alike.
+	c.Reset()
+	if st := c.Stats(); st.Pages != 0 || st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 {
+		t.Fatalf("stats after Reset %+v: want all zero", st)
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("page served after Reset")
+	}
+}
+
+// TestPageCacheInvalidateTree pins the per-tree isolation the server's epoch
+// flips rely on: dropping one tree's pages leaves every other tree's pages
+// untouched, so invalidating the churned R tree cannot cold-start S.
+func TestPageCacheInvalidateTree(t *testing.T) {
+	c := NewPageCache(16)
+	for p := 0; p < 4; p++ {
+		c.Put(FrameKey{Tree: 1, Page: storage.PageID(p)}, []byte{1, byte(p)})
+		c.Put(FrameKey{Tree: 2, Page: storage.PageID(p)}, []byte{2, byte(p)})
+	}
+	c.InvalidateTree(1)
+	for p := 0; p < 4; p++ {
+		if _, ok := c.Get(FrameKey{Tree: 1, Page: storage.PageID(p)}); ok {
+			t.Fatalf("tree 1 page %d survived InvalidateTree(1)", p)
+		}
+		if got, ok := c.Get(FrameKey{Tree: 2, Page: storage.PageID(p)}); !ok || !bytes.Equal(got, []byte{2, byte(p)}) {
+			t.Fatalf("tree 2 page %d lost or corrupted by InvalidateTree(1): %q, %v", p, got, ok)
+		}
+	}
+	if st := c.Stats(); st.Pages != 4 {
+		t.Fatalf("%d pages cached after InvalidateTree, want 4", st.Pages)
+	}
+}
+
+// TestPageCacheEpochIsolation drives the cache the way the server does across
+// a commit boundary: two trackers (the old and the new epoch) share one
+// cache; the commit invalidates the pages it rewrote, so the new epoch reads
+// fresh bytes while untouched pages are still served from memory.
+func TestPageCacheEpochIsolation(t *testing.T) {
+	cache := NewPageCache(16)
+
+	// Epoch 1 warms the cache with generation-1 payloads.
+	gen := byte(1)
+	read := 0
+	reader := readerFunc(func(id storage.PageID) ([]byte, error) {
+		read++
+		return []byte{gen, byte(id)}, nil
+	})
+	warm := NewTracker(NewLRU(1), metrics.NewCollector(), 1024, false)
+	warm.SetPageReader(1, reader)
+	warm.SetPageCache(cache)
+	warm.Access(1, 0, 10)
+	warm.Access(1, 0, 11)
+	if read != 2 {
+		t.Fatalf("%d physical reads warming, want 2", read)
+	}
+
+	// The commit rewrites page 10 (and only page 10).
+	gen = 2
+	cache.Invalidate(FrameKey{Tree: 1, Page: 10})
+
+	// Epoch 2: a fresh tracker (fresh counted LRU, as a new epoch gets) over
+	// the same cache. Page 11 must come from memory with its old bytes;
+	// page 10 must be re-read and serve generation-2 bytes.
+	next := NewTracker(NewLRU(1), metrics.NewCollector(), 1024, false)
+	next.SetPageReader(1, reader)
+	next.SetPageCache(cache)
+	next.Access(1, 0, 11)
+	if read != 2 {
+		t.Fatalf("epoch 2 re-read an unchanged page (%d physical reads)", read)
+	}
+	next.Access(1, 0, 10)
+	if read != 3 {
+		t.Fatalf("%d physical reads after the rewritten page, want 3", read)
+	}
+	if got, ok := cache.Get(FrameKey{Tree: 1, Page: 10}); !ok || !bytes.Equal(got, []byte{2, 10}) {
+		t.Fatalf("rewritten page served stale bytes: %q, %v", got, ok)
+	}
+	if got, ok := cache.Get(FrameKey{Tree: 1, Page: 11}); !ok || !bytes.Equal(got, []byte{1, 11}) {
+		t.Fatalf("unchanged page lost its bytes: %q, %v", got, ok)
+	}
+}
+
+// readerFunc adapts a function to the PageReader interface.
+type readerFunc func(storage.PageID) ([]byte, error)
+
+func (f readerFunc) ReadPage(id storage.PageID) ([]byte, error) { return f(id) }
+
+// TestNewPageCacheForBytes pins the byte-budget sizing: whole pages, at
+// least one page for any positive budget, zero for a zero budget.
+func TestNewPageCacheForBytes(t *testing.T) {
+	if got := NewPageCacheForBytes(8192, 1024).Stats().Capacity; got != 8 {
+		t.Fatalf("8 KiB / 1 KiB pages: capacity %d, want 8", got)
+	}
+	if got := NewPageCacheForBytes(100, 1024).Stats().Capacity; got != 1 {
+		t.Fatalf("sub-page budget: capacity %d, want 1", got)
+	}
+	if got := NewPageCacheForBytes(0, 1024).Stats().Capacity; got != 0 {
+		t.Fatalf("zero budget: capacity %d, want 0", got)
+	}
+	if got := NewPageCache(-5).Stats().Capacity; got != 0 {
+		t.Fatalf("negative capacity: %d, want 0", got)
+	}
+}

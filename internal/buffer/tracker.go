@@ -67,6 +67,8 @@ func (t *Tracker) path(tree int) *PathBuffer {
 // Access simulates reading the page with identifier id of the given tree at
 // the given level (0 = leaf).  It returns true if the request was satisfied
 // from a buffer and false if it required a disk access.
+//
+//repro:hotpath
 func (t *Tracker) Access(tree, level int, id storage.PageID) bool {
 	key := FrameKey{Tree: tree, Page: id}
 	if t.usePath {

@@ -8,6 +8,8 @@
 // times are therefore tied to 1993 hardware, but the ratios — which algorithm
 // wins, whether a configuration is CPU- or I/O-bound — depend only on the
 // counted quantities, which is what the reproduction checks.
+//
+//repro:measured
 package costmodel
 
 import (

@@ -60,6 +60,15 @@ type DiskUpdateRow struct {
 	MeasuredReads int64
 }
 
+// mustClose closes a pager and panics on failure: an experiment table is
+// only trustworthy if its store shut down cleanly, and the Close error
+// latches any commit the pager could not make durable.
+func mustClose(p *storage.Pager) {
+	if err := p.Close(); err != nil {
+		panic(fmt.Sprintf("experiments: closing pager: %v", err))
+	}
+}
+
 // persistTree saves a copy of the items into a fresh pager-backed tree store
 // on fs and commits it.  It returns the store (whose tree carries the
 // committed state).
@@ -97,8 +106,8 @@ func (s *Suite) TableDiskIO(fs storage.VFS, dir string) []DiskIORow {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: persisting S: %v", err))
 	}
-	defer storeR.Pager().Close()
-	defer storeS.Pager().Close()
+	defer mustClose(storeR.Pager())
+	defer mustClose(storeS.Pager())
 
 	var rows []DiskIORow
 	for _, bufferKB := range []int{0, 128} {
@@ -136,8 +145,8 @@ func (s *Suite) TableDiskUpdates(fs storage.VFS, dir string) []DiskUpdateRow {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: persisting S: %v", err))
 	}
-	defer storeR.Pager().Close()
-	defer storeS.Pager().Close()
+	defer mustClose(storeR.Pager())
+	defer mustClose(storeS.Pager())
 
 	u := &UpdatePair{
 		Tree: storeR.Tree(),

@@ -296,7 +296,7 @@ func (w *recoveryWorkload) crashAt(op int64, bySeq map[uint64]recoveryCheckpoint
 	if err != nil {
 		return fmt.Sprintf("recovery open failed: %v", err)
 	}
-	defer pager.Close()
+	defer mustClose(pager)
 	report.ReplayedTxns += pager.Stats().RecoveredTxns
 
 	seq := pager.Seq()

@@ -58,6 +58,8 @@ func (a *arena) frame(depth int) *frame {
 }
 
 // appendAllIdx appends 0..n-1 to idx, the no-restriction index set.
+//
+//repro:hotpath
 func appendAllIdx(idx []int32, n int) []int32 {
 	for i := 0; i < n; i++ {
 		idx = append(idx, int32(i))
@@ -66,6 +68,8 @@ func appendAllIdx(idx []int32, n int) []int32 {
 }
 
 // gatherRects appends the rectangles of the selected entries, in index order.
+//
+//repro:hotpath
 func gatherRects(dst []geom.Rect, entries []rtree.Entry, idx []int32) []geom.Rect {
 	for _, i := range idx {
 		dst = append(dst, entries[i].Rect)

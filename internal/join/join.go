@@ -10,6 +10,8 @@
 // cost is charged to a metrics.Collector as floating-point comparisons and
 // I/O cost as page accesses through a shared LRU buffer, mirroring the
 // paper's cost measures.
+//
+//repro:measured
 package join
 
 import (

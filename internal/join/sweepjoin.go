@@ -26,6 +26,8 @@ func (e *executor) runSweep(method Method) {
 // arena's frame for this depth, so in steady state the routine allocates
 // nothing; the accumulated costs are flushed to the shared collector once
 // when the node pair is done.
+//
+//repro:hotpath
 func (e *executor) sweepJoin(nr, ns *rtree.Node, rect geom.Rect, method Method, depth int) {
 	// One cancellation poll per node pair (see Options.Context): the descent
 	// unwinds without reading further pages and Join discards the partials.
@@ -106,6 +108,8 @@ func (e *executor) sweepJoin(nr, ns *rtree.Node, rect geom.Rect, method Method, 
 }
 
 // descend reads the two child pages and joins them recursively.
+//
+//repro:hotpath
 func (e *executor) descend(er, es rtree.Entry, method Method, depth int) {
 	childRect, ok := er.Rect.Intersection(es.Rect)
 	if !ok {

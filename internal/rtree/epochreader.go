@@ -56,7 +56,11 @@ func (r *EpochReader) Stats() EpochReaderStats {
 	return EpochReaderStats{Physical: r.physical.Load(), Versioned: r.versioned.Load()}
 }
 
-// ReadPage implements buffer.PageReader for the snapshot's epoch.
+// ReadPage implements buffer.PageReader for the snapshot's epoch.  Like
+// TreeStore.ReadPage it is the sanctioned physical-read path under the
+// tracker: its raw pager read is the counted miss.
+//
+//repro:io-boundary
 func (r *EpochReader) ReadPage(id storage.PageID) ([]byte, error) {
 	r.s.mu.RLock()
 	page, bound := r.s.byNode[id]

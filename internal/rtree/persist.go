@@ -91,7 +91,10 @@ func Load(f storage.NodeStore, root storage.PageID, opts Options) (*Tree, error)
 // whose level is read from its page); visited holds every page id already on
 // or below the walked path, so a cycle or shared subtree is detected the
 // moment it is re-entered.  It returns the node and the number of data
-// entries below it.
+// entries below it.  Loading runs once at open, before any measured join,
+// so its decodes bypass the tracker by design.
+//
+//repro:io-boundary
 func (t *Tree) loadNode(f storage.NodeStore, id storage.PageID, wantLevel int, visited map[storage.PageID]bool) (*Node, int, error) {
 	if visited[id] {
 		return nil, 0, fmt.Errorf("rtree: page %d referenced twice (cycle or shared subtree): %w",

@@ -9,6 +9,8 @@
 // memory but carry page identifiers so that the join algorithms can charge
 // node accesses to a shared LRU buffer (internal/buffer.Tracker), which is
 // exactly the I/O model of the paper's experiments.
+//
+//repro:measured
 package rtree
 
 import (

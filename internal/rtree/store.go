@@ -31,16 +31,21 @@ type TreeStore struct {
 	t *Tree
 	p *storage.Pager
 
-	mu     sync.RWMutex
+	mu sync.RWMutex
+	//repro:guardedBy mu
 	byNode map[storage.PageID]storage.PageID // node id -> pager page
-	owner  map[storage.PageID]storage.PageID // pager page -> node id
-	crcs   map[storage.PageID]uint32         // pager page -> checksum of last written payload
+	//repro:guardedBy mu
+	owner map[storage.PageID]storage.PageID // pager page -> node id
+	//repro:guardedBy mu
+	crcs map[storage.PageID]uint32 // pager page -> checksum of last written payload
 
 	// seq counts commits through this store; writtenAt records, per node
 	// identifier, the seq whose commit last changed (or freed) its bytes.
 	// EpochReader uses the pair to decide which pages still carry a
 	// snapshot's state and which must be served from the snapshot's nodes.
-	seq       uint64
+	//repro:guardedBy mu
+	seq uint64
+	//repro:guardedBy mu
 	writtenAt map[storage.PageID]uint64
 
 	// cache, when attached, is kept write-through-consistent: every page a
@@ -106,6 +111,11 @@ func OpenTreeStore(p *storage.Pager, opts Options) (*TreeStore, error) {
 
 // bind walks the in-memory subtree and its on-disk image in lockstep,
 // recording the node-to-page mapping and the stored payload checksums.
+// Rebinding happens once at open, before any join can observe the store, so
+// its reads are not part of the measured I/O.
+//
+//repro:io-boundary
+//repro:locked
 func (s *TreeStore) bind(n *Node, page storage.PageID) error {
 	buf, err := s.p.Read(page)
 	if err != nil {
@@ -185,6 +195,7 @@ func (s *TreeStore) Commit() (CommitStats, error) {
 	// rejoin the free list in this same transaction.  Deterministic order
 	// keeps commits reproducible run over run.
 	var deadPages []storage.PageID
+	//repolint:ignore determinism dead pages are collected unordered here and sorted just below
 	for nodeID, page := range s.byNode {
 		if !live[nodeID] {
 			deadPages = append(deadPages, page)
@@ -259,7 +270,11 @@ func (s *TreeStore) Commit() (CommitStats, error) {
 // tree's node identifier to its pager page and reads it from disk.  Reading
 // a node that was never committed is an error — the join must only ever
 // touch committed state.  The read lock is held across the pager read, so a
-// concurrent Commit cannot swap the page out from under the caller.
+// concurrent Commit cannot swap the page out from under the caller.  This is
+// the sanctioned physical-read path: buffer.Tracker calls it on a counted
+// miss, so the raw pager read below is exactly the measured I/O.
+//
+//repro:io-boundary
 func (s *TreeStore) ReadPage(id storage.PageID) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -187,7 +187,8 @@ type Server struct {
 	applied int // ops applied before the current round's boundary
 
 	// brokenMu guards the sticky broken cause.
-	brokenMu  sync.Mutex
+	brokenMu sync.Mutex
+	//repro:guardedBy brokenMu
 	brokenErr error
 
 	stats Stats

@@ -7,6 +7,8 @@
 // The algorithm runs in O(|R| + |S| + k_x) time where k_x is the number of
 // pairs whose x-projections intersect.  Its output order ("local plane-sweep
 // order") doubles as the read schedule of SpatialJoin3/4.
+//
+//repro:measured
 package sweep
 
 import (
@@ -105,6 +107,8 @@ func internalLoop(t geom.Rect, seq []geom.Rect, unmarked int, c geom.ComparisonC
 // plain local integer and charged to c exactly once, so a node pair costs one
 // counter update instead of one per comparison.  The pair order and the total
 // number of comparisons charged are identical to SortedIntersectionTest.
+//
+//repro:hotpath
 func AppendPairs(rseq, sseq []geom.Rect, c geom.ComparisonCounter, out []Pair) []Pair {
 	var n int64
 	i, j := 0, 0

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# fuzz-smoke.sh <package-path> <fuzz-target> [<fuzz-target> ...]
+# Runs each native fuzz target of the package for a short, CI-sized burst of
+# coverage-guided fuzzing on top of its seed corpus.  Shared by the
+# per-package jobs in .github/workflows/ci.yml so the smoke invocation
+# (-run '^$' to skip unit tests, one target per run as `go test -fuzz`
+# requires) cannot drift between them.
+#
+# FUZZTIME overrides the per-target budget (default 15s).
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  echo "usage: fuzz-smoke.sh <package-path> <fuzz-target> [<fuzz-target> ...]" >&2
+  exit 2
+fi
+
+pkg=$1
+shift
+fuzztime=${FUZZTIME:-15s}
+
+for target in "$@"; do
+  echo "==> fuzz ${target} (${fuzztime}) ${pkg}"
+  go test -run '^$' -fuzz "${target}\$" -fuzztime "$fuzztime" "$pkg"
+done
