@@ -41,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		disk     = fs.Bool("disk", false, "run only the measured-I/O disk experiments on real files (extension)")
 		recovery = fs.Bool("recovery", false, "run only the crash-recovery property harness (extension)")
 		server   = fs.Bool("server", false, "run only the concurrent join server torture harness (extension)")
+		shards   = fs.Bool("shards", false, "run only the sharded-deployment scaling benchmark (extension)")
 		pages    = fs.String("pages", "", "comma-separated page sizes in bytes (default 1024,2048,4096,8192)")
 		buffers  = fs.String("buffers", "", "comma-separated LRU buffer sizes in KByte (default 0,8,32,128,512)")
 	)
@@ -84,6 +85,12 @@ func run(args []string, out io.Writer) error {
 		experiments.PrintServerReport(out, report)
 		if !report.Ok() {
 			return fmt.Errorf("server torture harness failed (%d violations)", len(report.Failures))
+		}
+	case *shards:
+		report := experiments.RunShardBench(experiments.ShardBenchConfig{Scale: *scale})
+		experiments.PrintShardReport(out, report)
+		if !report.Ok() {
+			return fmt.Errorf("shard benchmark failed (%d violations)", len(report.Failures))
 		}
 	case *updates:
 		experiments.PrintTableUpdates(out, suite.TableUpdates())

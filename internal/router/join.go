@@ -1,0 +1,269 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/zorder"
+)
+
+// JoinRequest selects how each shard runs its join; the zero value runs
+// every shard's configured default.
+type JoinRequest struct {
+	// Method is the join algorithm (join.SJ1 .. join.SJ5) when non-zero.
+	Method int
+	// Workers > 1 runs a parallel join on each shard.
+	Workers int
+	// DiscardPairs suppresses materialising pairs; the result then carries
+	// only the per-shard counts.
+	DiscardPairs bool
+}
+
+// ShardOutcome is one shard's contribution to a merged join.
+type ShardOutcome struct {
+	Shard string
+	// Epoch is the shard snapshot the join ran against.
+	Epoch uint64
+	// Count is the shard's pair count.
+	Count int
+	// Attempts is the number of HTTP attempts the request took (1 = no
+	// retries).
+	Attempts int
+	// Wall is the shard request's wall-clock time including retries.
+	Wall time.Duration
+}
+
+// JoinResult is a merged fan-out join.
+type JoinResult struct {
+	// Count is the total pair count over all shards.
+	Count int
+	// Pairs is the merged pair set in ascending (R, S) order — bit-identical
+	// to a sorted single-process join of the same data.  Nil when the
+	// request discarded pairs.
+	Pairs [][2]int32
+	// Shards holds the per-shard outcomes in merge order (ascending key
+	// range).
+	Shards []ShardOutcome
+}
+
+// Join fans the join out to every shard and merges the sorted shard
+// streams into one deterministic pair set.  Every shard must answer:
+// each holds a disjoint slice of R, so a missing shard would silently
+// truncate the result.  If any shard fails after retries, Join returns a
+// *PartialError naming the failed and succeeded shards — and no pairs.
+func (rt *Router) Join(ctx context.Context, req JoinRequest) (*JoinResult, error) {
+	// Plan orders the fan-out longest-first; with goroutine fan-out the
+	// order matters only under client-side connection limits, but it costs
+	// nothing and keeps Plan the single source of routing truth.
+	plans := rt.Plan(ctx, rt.cfg.World)
+
+	type shardJoin struct {
+		resp     server.JoinResponseWire
+		attempts int
+		wall     time.Duration
+		err      error
+	}
+	results := make(map[string]shardJoin, len(plans))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wire := server.JoinRequestWire{Method: req.Method, Workers: req.Workers, DiscardPairs: req.DiscardPairs}
+	for _, p := range plans {
+		wg.Add(1)
+		go func(sh Shard) {
+			defer wg.Done()
+			var sj shardJoin
+			start := rt.cfg.now()
+			sj.attempts, sj.err = rt.do(ctx, sh, http.MethodPost, "/join", wire, &sj.resp)
+			sj.wall = rt.cfg.now().Sub(start)
+			if sj.err == nil && !req.DiscardPairs {
+				if err := verifySorted(sj.resp.Pairs); err != nil {
+					sj.err = err
+				}
+			}
+			mu.Lock()
+			results[sh.Name] = sj
+			mu.Unlock()
+		}(p.Shard)
+	}
+	wg.Wait()
+
+	// Assemble in shard (key-range) order so outcomes, merge input order
+	// and tie-breaks are all deterministic whatever the plan order was.
+	var perr PartialError
+	outcomes := make([]ShardOutcome, 0, len(rt.shards))
+	streams := make([][][2]int32, 0, len(rt.shards))
+	total := 0
+	for _, sh := range rt.shards {
+		sj := results[sh.Name]
+		if sj.err != nil {
+			perr.Failures = append(perr.Failures, &ShardError{Shard: sh.Name, Err: sj.err})
+			continue
+		}
+		perr.Succeeded = append(perr.Succeeded, sh.Name)
+		outcomes = append(outcomes, ShardOutcome{
+			Shard:    sh.Name,
+			Epoch:    sj.resp.Epoch,
+			Count:    sj.resp.Count,
+			Attempts: sj.attempts,
+			Wall:     sj.wall,
+		})
+		streams = append(streams, sj.resp.Pairs)
+		total += sj.resp.Count
+	}
+	if len(perr.Failures) > 0 {
+		return nil, &perr
+	}
+	res := &JoinResult{Count: total, Shards: outcomes}
+	if !req.DiscardPairs {
+		res.Pairs = mergeSorted(streams, total)
+	}
+	return res, nil
+}
+
+// verifySorted checks the wire contract behind the merge: each shard's
+// pairs arrive in ascending (R, S) order.  An unsorted stream means the
+// shard is not speaking the protocol, which is a shard failure, not
+// something to paper over by re-sorting.
+func verifySorted(pairs [][2]int32) error {
+	for i := 1; i < len(pairs); i++ {
+		if pairLess(pairs[i], pairs[i-1]) {
+			return fmt.Errorf("protocol violation: pairs not sorted by (R, S) at index %d", i)
+		}
+	}
+	return nil
+}
+
+func pairLess(a, b [2]int32) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// mergeSorted k-way merges the sorted shard streams.  Ties break to the
+// lowest stream index — the shard with the lowest key range — so the merge
+// is deterministic even if two shards ever emitted an equal pair.
+func mergeSorted(streams [][][2]int32, total int) [][2]int32 {
+	out := make([][2]int32, 0, total)
+	idx := make([]int, len(streams))
+	for {
+		best := -1
+		for k, s := range streams {
+			if idx[k] >= len(s) {
+				continue
+			}
+			if best < 0 || pairLess(s[idx[k]], streams[best][idx[best]]) {
+				best = k
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, streams[best][idx[best]])
+		idx[best]++
+	}
+}
+
+// Update routes each op to the shard owning its rectangle's centre key and
+// stages the per-shard batches in shard order.  It returns the number of
+// ops staged; on a shard failure it returns the count staged so far and a
+// *ShardError (staged ops on earlier shards stay staged — they become
+// visible at those shards' next rounds whether or not this call succeeded,
+// which is the same at-least-staged contract a retried direct update has).
+func (rt *Router) Update(ctx context.Context, ops []server.OpWire) (int, error) {
+	batches := make([][]server.OpWire, len(rt.shards))
+	for i, op := range ops {
+		key := zorder.HilbertKey(op.Rect().Center(), rt.cfg.World)
+		shard := rt.shardFor(key)
+		if shard < 0 {
+			return 0, fmt.Errorf("router: op %d: centre key %d outside the key space", i, key)
+		}
+		batches[shard] = append(batches[shard], op)
+	}
+	staged := 0
+	for i, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		var resp struct {
+			Staged int `json:"staged"`
+		}
+		if _, err := rt.do(ctx, rt.shards[i], http.MethodPost, "/update", batch, &resp); err != nil {
+			return staged, &ShardError{Shard: rt.shards[i].Name, Err: err}
+		}
+		staged += resp.Staged
+	}
+	return staged, nil
+}
+
+// Round commits staged mutations on every shard.  Like Join it is
+// all-or-error: a shard that cannot flip leaves the deployment on mixed
+// epochs, which the caller must know about.
+func (rt *Router) Round(ctx context.Context) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(rt.shards))
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			_, errs[i] = rt.do(ctx, sh, http.MethodPost, "/round", nil, nil)
+		}(i, sh)
+	}
+	wg.Wait()
+	var perr PartialError
+	for i, err := range errs {
+		if err != nil {
+			perr.Failures = append(perr.Failures, &ShardError{Shard: rt.shards[i].Name, Err: err})
+		} else {
+			perr.Succeeded = append(perr.Succeeded, rt.shards[i].Name)
+		}
+	}
+	if len(perr.Failures) > 0 {
+		return &perr
+	}
+	return nil
+}
+
+// Stats fetches a fresh stats snapshot from every shard (feeding the TTL
+// cache as a side effect) keyed by shard name.  Shards that fail to answer
+// are reported in a *PartialError alongside the snapshots that succeeded.
+func (rt *Router) Stats(ctx context.Context) (map[string]server.StatsWire, error) {
+	out := make(map[string]server.StatsWire, len(rt.shards))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, len(rt.shards))
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			var wire server.StatsWire
+			if _, err := rt.do(ctx, sh, http.MethodGet, "/stats", nil, &wire); err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			out[sh.Name] = wire
+			mu.Unlock()
+			rt.mu.Lock()
+			rt.cache[sh.Name] = statsEntry{wire: wire, at: rt.cfg.now()}
+			rt.mu.Unlock()
+		}(i, sh)
+	}
+	wg.Wait()
+	var perr PartialError
+	for i, err := range errs {
+		if err != nil {
+			perr.Failures = append(perr.Failures, &ShardError{Shard: rt.shards[i].Name, Err: err})
+		} else {
+			perr.Succeeded = append(perr.Succeeded, rt.shards[i].Name)
+		}
+	}
+	if len(perr.Failures) > 0 {
+		return out, &perr
+	}
+	return out, nil
+}

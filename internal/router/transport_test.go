@@ -1,0 +1,343 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/server"
+	"repro/internal/zorder"
+)
+
+// The stub tests pin the retry and staleness policies against hand-rolled
+// shard handlers, where every response code and header is scripted.
+
+// stubShard serves h as a single shard owning the whole key space.
+func stubShard(t *testing.T, h http.Handler) Shard {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return Shard{Name: "stub", URL: ts.URL, Range: zorder.KeyRange{Lo: 0, Hi: zorder.KeySpace}}
+}
+
+type sleepRecorder struct {
+	mu    sync.Mutex
+	slept []time.Duration
+}
+
+func (s *sleepRecorder) sleep(ctx context.Context, d time.Duration) error {
+	s.mu.Lock()
+	s.slept = append(s.slept, d)
+	s.mu.Unlock()
+	return ctx.Err()
+}
+
+func okJoin(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, `{"epoch":1,"count":1,"pairs":[[1,2]]}`)
+}
+
+// TestDoHonoursRetryAfterCapped: a shedding shard's Retry-After is obeyed
+// — as RFC 9110 integer seconds — but capped at MaxRetryAfter, so one
+// confused shard cannot stall the whole fan-out.
+func TestDoHonoursRetryAfterCapped(t *testing.T) {
+	var hits int
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		okJoin(w)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, `{}`) })
+
+	rec := &sleepRecorder{}
+	rt, err := New(Config{
+		Shards:        []Shard{stubShard(t, mux)},
+		RetryAttempts: 3,
+		MaxRetryAfter: 500 * time.Millisecond,
+		sleep:         rec.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Join(context.Background(), JoinRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Shards[0].Attempts)
+	}
+	if len(rec.slept) != 1 || rec.slept[0] != 500*time.Millisecond {
+		t.Fatalf("slept %v, want exactly the 500ms cap (shard asked for 7s)", rec.slept)
+	}
+}
+
+// TestDoBacksOffOn5xx: a 500 without Retry-After retries on the router's
+// own doubling backoff.
+func TestDoBacksOffOn5xx(t *testing.T) {
+	var hits int
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		okJoin(w)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, `{}`) })
+
+	rec := &sleepRecorder{}
+	rt, err := New(Config{
+		Shards:        []Shard{stubShard(t, mux)},
+		RetryAttempts: 3,
+		RetryBackoff:  3 * time.Millisecond,
+		sleep:         rec.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Join(context.Background(), JoinRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards[0].Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", res.Shards[0].Attempts)
+	}
+	want := []time.Duration{3 * time.Millisecond, 6 * time.Millisecond}
+	if len(rec.slept) != len(want) || rec.slept[0] != want[0] || rec.slept[1] != want[1] {
+		t.Fatalf("slept %v, want %v", rec.slept, want)
+	}
+}
+
+// TestDoTreats4xxAsPermanent: client errors mean the request itself is
+// wrong; retrying would hammer the shard with the same broken request.
+func TestDoTreats4xxAsPermanent(t *testing.T) {
+	var hits int
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		http.Error(w, `{"error":"no such method"}`, http.StatusBadRequest)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, `{}`) })
+
+	rec := &sleepRecorder{}
+	rt, err := New(Config{Shards: []Shard{stubShard(t, mux)}, RetryAttempts: 3, sleep: rec.sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.Join(context.Background(), JoinRequest{})
+	if !errors.Is(err, ErrPartialFailure) {
+		t.Fatalf("err = %v, want ErrPartialFailure", err)
+	}
+	if hits != 1 {
+		t.Fatalf("4xx was retried: %d requests", hits)
+	}
+	if len(rec.slept) != 0 {
+		t.Fatalf("4xx slept %v before giving up", rec.slept)
+	}
+}
+
+// TestDoRejectsUnsortedShardStream: a shard answering out of (R, S) order
+// violates the wire contract the merge depends on; the router treats it as
+// a shard failure instead of silently re-sorting.
+func TestDoRejectsUnsortedShardStream(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"epoch":1,"count":2,"pairs":[[2,1],[1,2]]}`)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, `{}`) })
+
+	rt, err := New(Config{Shards: []Shard{stubShard(t, mux)}, RetryAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.Join(context.Background(), JoinRequest{})
+	if !errors.Is(err, ErrPartialFailure) {
+		t.Fatalf("err = %v, want ErrPartialFailure for an unsorted stream", err)
+	}
+}
+
+// TestStatsTTLAndStaleFallback: Plan serves coverage from the TTL cache,
+// refreshes it once expired, and — when the shard stops answering /stats —
+// keeps planning with the stale summary rather than dropping the shard.
+func TestStatsTTLAndStaleFallback(t *testing.T) {
+	var mu sync.Mutex
+	statsHits, failStats := 0, false
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		statsHits++
+		fail := failStats
+		mu.Unlock()
+		if fail {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"coverage":{"Epoch":3,"PageSize":1024,"RItems":42,"SItems":7}}`)
+	})
+
+	now := time.Unix(1000, 0)
+	rt, err := New(Config{
+		Shards:   []Shard{stubShard(t, mux)},
+		StatsTTL: 10 * time.Second,
+		now:      func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	check := func(label string, wantHits int, wantFresh bool) {
+		t.Helper()
+		plans := rt.Plan(ctx, server.UnitWorld)
+		if len(plans) != 1 {
+			t.Fatalf("%s: planned %d shards, want 1", label, len(plans))
+		}
+		p := plans[0]
+		if p.Coverage.RItems != 42 || p.Coverage.Epoch != 3 {
+			t.Fatalf("%s: coverage = %+v, want the stub's summary", label, p.Coverage)
+		}
+		if p.StatsFresh != wantFresh {
+			t.Fatalf("%s: StatsFresh = %v, want %v", label, p.StatsFresh, wantFresh)
+		}
+		if p.Est.TotalSeconds() <= 0 {
+			t.Fatalf("%s: no cost estimate from coverage", label)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if statsHits != wantHits {
+			t.Fatalf("%s: %d stats fetches, want %d", label, statsHits, wantHits)
+		}
+	}
+
+	check("first plan", 1, true)
+	now = now.Add(5 * time.Second)
+	check("within TTL", 1, true) // cache hit, no refetch
+	now = now.Add(6 * time.Second)
+	check("expired", 2, true) // TTL passed, refetched
+	mu.Lock()
+	failStats = true
+	mu.Unlock()
+	now = now.Add(11 * time.Second)
+	check("stale fallback", 3, false) // refresh failed, stale summary kept
+}
+
+// TestPlanOrdersByEstimatedCost: with fresh coverage from both shards, the
+// plan starts the expensive one first — the fan-out's critical path.
+func TestPlanOrdersByEstimatedCost(t *testing.T) {
+	shardStub := func(name string, items int) Shard {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"coverage":{"Epoch":1,"PageSize":1024,"RItems":%d,"SItems":100}}`, items)
+		})
+		ts := httptest.NewServer(mux)
+		t.Cleanup(ts.Close)
+		return Shard{Name: name, URL: ts.URL}
+	}
+	half := zorder.KeySpace / 2
+	small := shardStub("small", 10)
+	small.Range = zorder.KeyRange{Lo: 0, Hi: half}
+	big := shardStub("big", 10000)
+	big.Range = zorder.KeyRange{Lo: half, Hi: zorder.KeySpace}
+
+	rt, err := New(Config{Shards: []Shard{small, big}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := rt.Plan(context.Background(), server.UnitWorld)
+	if len(plans) != 2 || plans[0].Shard.Name != "big" {
+		t.Fatalf("plan order = %v, want the big shard first", []string{plans[0].Shard.Name, plans[1].Shard.Name})
+	}
+}
+
+// TestPlanPrunesOnlyWithExtentBound: key-range pruning needs the
+// MaxItemExtent promise; without it every window fans out to every shard.
+func TestPlanPrunesOnlyWithExtentBound(t *testing.T) {
+	shards := make([]Shard, 4)
+	for i, kr := range zorder.UniformKeyRanges(4) {
+		// Unreachable URLs: planning must not require live shards.
+		shards[i] = Shard{Name: fmt.Sprintf("s%d", i), URL: fmt.Sprintf("http://127.0.0.1:1/s%d", i), Range: kr}
+	}
+	corner := geom.Rect{XL: 0.01, YL: 0.01, XU: 0.02, YU: 0.02}
+
+	rt, err := New(Config{Shards: shards, ShardTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rt.Plan(context.Background(), corner)); got != 4 {
+		t.Fatalf("unbounded extents: planned %d shards, want all 4", got)
+	}
+
+	rt2, err := New(Config{Shards: shards, MaxItemExtent: 0.05, ShardTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := rt2.Plan(context.Background(), corner)
+	if len(pruned) == 0 || len(pruned) >= 4 {
+		t.Fatalf("bounded extents: planned %d shards for a corner window, want a strict subset", len(pruned))
+	}
+	if got := len(rt2.Plan(context.Background(), server.UnitWorld)); got != 4 {
+		t.Fatalf("whole-world window: planned %d shards, want all 4", got)
+	}
+}
+
+// TestNewRejectsBadDeployments: gaps, overlaps and duplicate names are
+// configuration errors New refuses outright — a gap loses updates, an
+// overlap duplicates pairs.
+func TestNewRejectsBadDeployments(t *testing.T) {
+	half := zorder.KeySpace / 2
+	cases := map[string]Config{
+		"no shards": {},
+		"gap": {Shards: []Shard{
+			{URL: "http://a", Range: zorder.KeyRange{Lo: 0, Hi: half - 1}},
+			{URL: "http://b", Range: zorder.KeyRange{Lo: half, Hi: zorder.KeySpace}},
+		}},
+		"overlap": {Shards: []Shard{
+			{URL: "http://a", Range: zorder.KeyRange{Lo: 0, Hi: half + 1}},
+			{URL: "http://b", Range: zorder.KeyRange{Lo: half, Hi: zorder.KeySpace}},
+		}},
+		"short": {Shards: []Shard{
+			{URL: "http://a", Range: zorder.KeyRange{Lo: 0, Hi: half}},
+		}},
+		"duplicate name": {Shards: []Shard{
+			{Name: "x", URL: "http://a", Range: zorder.KeyRange{Lo: 0, Hi: half}},
+			{Name: "x", URL: "http://b", Range: zorder.KeyRange{Lo: half, Hi: zorder.KeySpace}},
+		}},
+		"missing URL": {Shards: []Shard{
+			{Range: zorder.KeyRange{Lo: 0, Hi: zorder.KeySpace}},
+		}},
+	}
+	for name, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted a broken deployment", name)
+		}
+	}
+}
+
+// TestMergeSorted pins the k-way merge on a hand-checkable case, including
+// an equal pair in two streams (kept from both — shards with disjoint R
+// cannot produce one, but the merge must stay deterministic if they did).
+func TestMergeSorted(t *testing.T) {
+	streams := [][][2]int32{
+		{{1, 1}, {1, 3}, {4, 0}},
+		{},
+		{{1, 2}, {1, 3}, {2, 0}},
+	}
+	want := [][2]int32{{1, 1}, {1, 2}, {1, 3}, {1, 3}, {2, 0}, {4, 0}}
+	got := mergeSorted(streams, 6)
+	assertPairsEqual(t, "merge", got, want)
+}

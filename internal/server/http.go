@@ -1,0 +1,207 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"repro/internal/geom"
+	"repro/internal/join"
+	"repro/internal/zorder"
+)
+
+// The HTTP surface of a join server: spatialjoind mounts it over its single
+// process; with a HandlerConfig.Shard range the same surface serves one
+// Hilbert shard of a sharded deployment, and the router in internal/router
+// fans out across many of them.  The wire types are exported so router and
+// shard agree on the protocol by construction.
+
+// OpWire is one staged mutation on the wire.
+type OpWire struct {
+	XL     float64 `json:"xl"`
+	YL     float64 `json:"yl"`
+	XU     float64 `json:"xu"`
+	YU     float64 `json:"yu"`
+	Data   int32   `json:"data"`
+	Delete bool    `json:"delete,omitempty"`
+}
+
+// Rect returns the op's rectangle.
+func (o OpWire) Rect() geom.Rect {
+	return geom.Rect{XL: o.XL, YL: o.YL, XU: o.XU, YU: o.YU}
+}
+
+// JoinRequestWire is the POST /join body.  All fields are optional; the
+// zero value runs the configured default join.
+type JoinRequestWire struct {
+	// Method selects the join algorithm (join.SJ1 .. join.SJ5) when
+	// non-zero.
+	Method int `json:"method,omitempty"`
+	// Workers > 1 runs a parallel join with that many workers.
+	Workers int `json:"workers,omitempty"`
+	// DiscardPairs suppresses materialising the pairs in the response.
+	DiscardPairs bool `json:"discard_pairs,omitempty"`
+}
+
+// JoinResponseWire is the POST /join response.  Pairs are sorted by (R, S) —
+// the SortJoinPairs order — so a router can merge shard streams with a
+// sorted merge and any client sees a deterministic order.
+type JoinResponseWire struct {
+	Epoch   uint64     `json:"epoch"`
+	Count   int        `json:"count"`
+	Retries int        `json:"retries,omitempty"`
+	Pairs   [][2]int32 `json:"pairs,omitempty"`
+}
+
+// StatsWire is the GET /stats response: the server counters, the snapshot's
+// coverage summary, the shard's key range (empty for an unsharded daemon)
+// and the number of staged-but-uncommitted mutations.
+type StatsWire struct {
+	Stats    StatsSnapshot `json:"stats"`
+	Coverage Coverage      `json:"coverage"`
+	Shard    string        `json:"shard,omitempty"`
+	Pending  int           `json:"pending"`
+}
+
+// HandlerConfig configures the HTTP surface.
+type HandlerConfig struct {
+	// Shard, when non-nil, is the half-open Hilbert key range this server
+	// owns.  POST /update rejects (400) any op whose rectangle centre keys
+	// outside the range: a misrouted op silently indexed on the wrong shard
+	// would be unreachable for the router's key-range planning, so the shard
+	// refuses it outright.
+	Shard *zorder.KeyRange
+	// World is the rectangle the Hilbert key grid covers; the zero value
+	// means the unit square.  Router and shards must agree on it.
+	World geom.Rect
+}
+
+// UnitWorld is the default key-grid world: the synthetic datasets live in
+// the unit square.
+var UnitWorld = geom.Rect{XL: 0, YL: 0, XU: 1, YU: 1}
+
+func (c HandlerConfig) withDefaults() HandlerConfig {
+	if c.World == (geom.Rect{}) {
+		c.World = UnitWorld
+	}
+	return c
+}
+
+// NewHandler builds the HTTP surface over a join server.
+func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
+	cfg = cfg.withDefaults()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
+		var ops []OpWire
+		if err := json.NewDecoder(r.Body).Decode(&ops); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		batch := make([]Op, len(ops))
+		for i, op := range ops {
+			rect := op.Rect()
+			if cfg.Shard != nil {
+				if key := zorder.HilbertKey(rect.Center(), cfg.World); !cfg.Shard.Contains(key) {
+					httpError(w, http.StatusBadRequest,
+						fmt.Errorf("op %d: centre key %d outside shard range %s", i, key, cfg.Shard))
+					return
+				}
+			}
+			batch[i] = Op{Rect: rect, Data: op.Data, Delete: op.Delete}
+		}
+		if err := srv.Update(batch); err != nil {
+			WriteJoinError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]int{"staged": len(batch)})
+	})
+	mux.HandleFunc("POST /round", func(w http.ResponseWriter, r *http.Request) {
+		rs, err := srv.Round()
+		if err != nil {
+			WriteJoinError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rs)
+	})
+	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
+		var req JoinRequestWire
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		resp, err := srv.Join(r.Context(), JoinRequest{
+			Method:       join.Method(req.Method),
+			Workers:      req.Workers,
+			DiscardPairs: req.DiscardPairs,
+		})
+		if err != nil {
+			WriteJoinError(w, err)
+			return
+		}
+		out := JoinResponseWire{Epoch: resp.Epoch, Count: resp.Count, Retries: resp.Retries}
+		if !req.DiscardPairs {
+			// The worker split makes the in-memory order schedule-dependent;
+			// the wire order is pinned to (R, S) so shard responses merge
+			// deterministically.
+			join.SortPairs(resp.Pairs)
+			out.Pairs = make([][2]int32, len(resp.Pairs))
+			for i, p := range resp.Pairs {
+				out.Pairs[i] = [2]int32{p.R, p.S}
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		out := StatsWire{
+			Stats:    srv.Snapshot(),
+			Coverage: srv.Coverage(),
+			Pending:  srv.Pending(),
+		}
+		if cfg.Shard != nil {
+			out.Shard = cfg.Shard.String()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	return mux
+}
+
+// WriteJoinError maps the server's typed errors onto HTTP status codes.
+func WriteJoinError(w http.ResponseWriter, err error) {
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		// RFC 9110 requires Retry-After in whole seconds; a fractional value
+		// like "0.5" parses as 0 on conforming clients, which then retry
+		// immediately and defeat the shedding.  Round up, never below 1.
+		secs := int(math.Ceil(shed.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrDeadline):
+		httpError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, join.ErrCancelled):
+		// 499: client closed request (nginx convention).
+		httpError(w, 499, err)
+	case errors.Is(err, ErrServerBroken), errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
