@@ -42,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		recovery = fs.Bool("recovery", false, "run only the crash-recovery property harness (extension)")
 		server   = fs.Bool("server", false, "run only the concurrent join server torture harness (extension)")
 		shards   = fs.Bool("shards", false, "run only the sharded-deployment scaling benchmark (extension)")
+		preds    = fs.Bool("predicates", false, "run only the predicate filter-and-refine suite (extension)")
 		pages    = fs.String("pages", "", "comma-separated page sizes in bytes (default 1024,2048,4096,8192)")
 		buffers  = fs.String("buffers", "", "comma-separated LRU buffer sizes in KByte (default 0,8,32,128,512)")
 	)
@@ -91,6 +92,12 @@ func run(args []string, out io.Writer) error {
 		experiments.PrintShardReport(out, report)
 		if !report.Ok() {
 			return fmt.Errorf("shard benchmark failed (%d violations)", len(report.Failures))
+		}
+	case *preds:
+		report := experiments.RunPredicateBench(experiments.PredicateBenchConfig{Scale: *scale})
+		experiments.PrintPredicateReport(out, report)
+		if !report.Ok() {
+			return fmt.Errorf("predicate suite failed (%d violations)", len(report.Failures))
 		}
 	case *updates:
 		experiments.PrintTableUpdates(out, suite.TableUpdates())

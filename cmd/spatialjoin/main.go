@@ -41,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		policy   = fs.String("policy", "b", "height policy for trees of different heights: a, b or c")
 		bulk     = fs.Bool("bulk", false, "build the trees with STR bulk loading instead of insertion")
 		pairsOut = fs.String("pairs", "", "optional file to write the result pairs to")
+		predFlag = fs.String("predicate", "intersects", "join predicate: intersects, within:EPS or knn:K")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +67,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	pred, err := repro.ParseJoinPredicate(*predFlag)
+	if err != nil {
+		return err
+	}
 	model := repro.DefaultCostModel()
 	for _, name := range strings.Split(*methods, ",") {
 		method, err := parseMethod(strings.TrimSpace(name))
@@ -77,13 +82,14 @@ func run(args []string, out io.Writer) error {
 			BufferBytes:   *bufferKB << 10,
 			UsePathBuffer: true,
 			HeightPolicy:  heightPolicy,
+			Predicate:     pred,
 			DiscardPairs:  *pairsOut == "",
 		})
 		if err != nil {
 			return err
 		}
 		est := model.Estimate(res.Metrics.DiskAccesses(), *pageSize, res.Metrics.TotalComparisons())
-		fmt.Fprintf(out, "\n%v (page %d B, buffer %d KB)\n", method, *pageSize, *bufferKB)
+		fmt.Fprintf(out, "\n%v %v (page %d B, buffer %d KB)\n", method, pred, *pageSize, *bufferKB)
 		fmt.Fprintf(out, "  result pairs:     %d\n", res.Count)
 		fmt.Fprintf(out, "  comparisons:      %d join + %d sorting\n", res.Metrics.Comparisons, res.Metrics.SortComparisons)
 		fmt.Fprintf(out, "  disk accesses:    %d (buffer hits %d, path hits %d)\n",

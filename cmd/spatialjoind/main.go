@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/join"
 	"repro/internal/rtree"
 	"repro/internal/server"
 	"repro/internal/storage"
@@ -70,6 +71,7 @@ type daemonConfig struct {
 	sItems      int
 	sSide       float64
 	seed        int64
+	predicate   join.Predicate
 	shard       *zorder.KeyRange
 }
 
@@ -88,7 +90,12 @@ func parseFlags(args []string) (daemonConfig, error) {
 	fs.Float64Var(&cfg.sSide, "s-side", 0.001, "rectangle side length of the synthetic S items")
 	fs.Int64Var(&cfg.seed, "seed", 42, "seed of the synthetic S relation")
 	shard := fs.String("shard", "", "half-open Hilbert key range lo:hi this process owns (empty serves the whole key space)")
+	pred := fs.String("predicate", "intersects", "default join predicate for requests that omit one: intersects, within:EPS or knn:K")
 	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	var err error
+	if cfg.predicate, err = join.ParsePredicate(*pred); err != nil {
 		return cfg, err
 	}
 	if *shard != "" {
@@ -207,6 +214,7 @@ func buildServer(vfs storage.VFS, cfg daemonConfig) (*server.Server, func(), err
 		CostBudget:      cfg.costBudget,
 		DefaultDeadline: cfg.deadline,
 		CacheBytes:      cfg.cacheBytes,
+		JoinDefaults:    join.Options{Predicate: cfg.predicate},
 		Reopen: func() (*rtree.TreeStore, error) {
 			mu.Lock()
 			defer mu.Unlock()

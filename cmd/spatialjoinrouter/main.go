@@ -251,6 +251,7 @@ func newHandler(rt *router.Router) http.Handler {
 		res, err := rt.Join(r.Context(), router.JoinRequest{
 			Method:       req.Method,
 			Workers:      req.Workers,
+			Predicate:    req.Predicate,
 			DiscardPairs: req.DiscardPairs,
 		})
 		if err != nil {

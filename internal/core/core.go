@@ -195,19 +195,33 @@ type Result struct {
 	// Estimate is the execution-time estimate of the filter step under the
 	// paper's cost model.
 	Estimate costmodel.Estimate
+	// RefineOps is the counted refinement work (ID- and object-joins) in the
+	// cost model's comparison unit; zero for MBRJoin.
+	RefineOps int64
+	// RefineSeconds prices RefineOps with the model's comparison constant:
+	// the refinement step's CPU, reported separately from the filter step's
+	// I/O and CPU the way Section 5 of the paper separates them.
+	RefineSeconds float64
 	// Type records the join type.
 	Type JoinType
 	// Method records the filter algorithm used.
 	Method join.Method
+	// Predicate records the join predicate the filter ran.
+	Predicate join.Predicate
 }
 
 // ErrNilRelation is returned when a nil relation is passed to SpatialJoin.
 var ErrNilRelation = errors.New("core: nil relation")
 
 // SpatialJoin joins two relations.  The filter step runs over the R*-tree
-// indexes with the configured algorithm; for IDJoin and ObjectJoin the
-// candidates are refined with the exact geometries (objects without geometry
-// are treated as rectangles).
+// indexes with the configured algorithm and predicate; for IDJoin and
+// ObjectJoin the candidates are refined with the exact geometries (objects
+// without geometry are treated as rectangles).  The refinement test follows
+// the predicate: intersection refines with the exact intersection test,
+// within-distance with the exact distance test.  kNN candidates pass the
+// refinement unchanged — the K nearest by MBR distance is the filter's
+// answer, and exact-geometry re-ranking would need a candidate set larger
+// than K, which the filter does not produce.
 func SpatialJoin(r, s *Relation, opts JoinOptions) (*Result, error) {
 	if r == nil || s == nil {
 		return nil, ErrNilRelation
@@ -229,6 +243,7 @@ func SpatialJoin(r, s *Relation, opts JoinOptions) (*Result, error) {
 		Estimate:    model.Estimate(filterRes.Metrics.DiskAccesses(), r.tree.PageSize(), filterRes.Metrics.TotalComparisons()),
 		Type:        opts.Type,
 		Method:      opts.Filter.Method,
+		Predicate:   opts.Filter.Predicate,
 	}
 	for _, p := range filterRes.Pairs {
 		ro, okR := r.objects[p.R]
@@ -240,11 +255,15 @@ func SpatialJoin(r, s *Relation, opts JoinOptions) (*Result, error) {
 		case MBRJoin:
 			res.Pairs = append(res.Pairs, ResultPair{R: p.R, S: p.S})
 		case IDJoin:
-			if geometriesIntersect(ro, so) {
+			ok, ops := refinePair(ro, so, opts.Filter.Predicate)
+			res.RefineOps += ops
+			if ok {
 				res.Pairs = append(res.Pairs, ResultPair{R: p.R, S: p.S})
 			}
 		case ObjectJoin:
-			if !geometriesIntersect(ro, so) {
+			ok, ops := refinePair(ro, so, opts.Filter.Predicate)
+			res.RefineOps += ops
+			if !ok {
 				continue
 			}
 			pair := ResultPair{R: p.R, S: p.S}
@@ -258,6 +277,7 @@ func SpatialJoin(r, s *Relation, opts JoinOptions) (*Result, error) {
 			return nil, fmt.Errorf("core: unknown join type %v", opts.Type)
 		}
 	}
+	res.RefineSeconds = float64(res.RefineOps) * model.ComparisonSeconds
 	return res, nil
 }
 
@@ -268,21 +288,37 @@ func withMaterialised(o join.Options) join.Options {
 	return o
 }
 
-// geometriesIntersect applies the refinement step to one candidate pair.
-// Objects without exact geometry fall back to their MBR, so a pair of two
-// geometry-less objects is always accepted (the filter already proved the MBR
-// intersection).
-func geometriesIntersect(a, b Object) bool {
-	switch {
-	case a.Geometry == nil && b.Geometry == nil:
-		return true
-	case a.Geometry == nil:
-		return b.Geometry.IntersectsGeometry(refine.RectPolygon(a.MBR))
-	case b.Geometry == nil:
-		return a.Geometry.IntersectsGeometry(refine.RectPolygon(b.MBR))
-	default:
-		return a.Geometry.IntersectsGeometry(b.Geometry)
+// refinePair applies the predicate's refinement test to one candidate pair
+// and returns the verdict plus the counted refinement operations.  Objects
+// without exact geometry fall back to their MBR's rectangle polygon, so a
+// pair of two geometry-less objects is always accepted under intersection
+// (the filter already proved the MBR predicate) and tested on MBR extent
+// under within-distance.  kNN candidates pass unchanged at zero cost.
+func refinePair(a, b Object, pred join.Predicate) (bool, int64) {
+	if pred.Kind == join.PredKNN {
+		return true, 0
 	}
+	ga, gb := a.Geometry, b.Geometry
+	if ga == nil && gb == nil && pred.Kind == join.PredIntersects {
+		return true, 0
+	}
+	if ga == nil {
+		ga = refine.RectPolygon(a.MBR)
+	}
+	if gb == nil {
+		gb = refine.RectPolygon(b.MBR)
+	}
+	if pred.Kind == join.PredWithinDist {
+		return refine.DistanceWithin(ga, gb, pred.Epsilon)
+	}
+	return refine.IntersectsCost(ga, gb)
+}
+
+// geometriesIntersect is the boolean refinement test for intersection (kept
+// for WindowQuery-style callers that do not account costs).
+func geometriesIntersect(a, b Object) bool {
+	ok, _ := refinePair(a, b, join.Intersects())
+	return ok
 }
 
 // LineObjectsFromItems converts MBR items (as produced by internal/datagen

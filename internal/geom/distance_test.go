@@ -1,0 +1,82 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpandRect(t *testing.T) {
+	r := Rect{XL: 1, YL: 2, XU: 3, YU: 4}
+	got := ExpandRect(r, 0.5)
+	want := Rect{XL: 0.5, YL: 1.5, XU: 3.5, YU: 4.5}
+	if got != want {
+		t.Fatalf("ExpandRect = %v, want %v", got, want)
+	}
+	if ExpandRect(r, 0) != r {
+		t.Fatalf("ExpandRect(r, 0) must be identity")
+	}
+}
+
+// naiveRectDist computes the minimum distance between two rectangles by
+// brute force over the corner/edge cases using per-axis clamps.
+func naiveRectDist(r, s Rect) float64 {
+	dx := math.Max(0, math.Max(r.XL-s.XU, s.XL-r.XU))
+	dy := math.Max(0, math.Max(r.YL-s.YU, s.YL-r.YU))
+	return math.Hypot(dx, dy)
+}
+
+func TestRectDistSquaredCost(t *testing.T) {
+	cases := []struct {
+		name  string
+		r, s  Rect
+		comps int64
+	}{
+		{"overlap", Rect{0, 0, 2, 2}, Rect{1, 1, 3, 3}, 4},
+		{"touching", Rect{0, 0, 1, 1}, Rect{1, 0, 2, 1}, 4},
+		{"left gap", Rect{5, 0, 6, 1}, Rect{0, 0, 1, 1}, 3},
+		{"right gap", Rect{0, 0, 1, 1}, Rect{5, 0, 6, 1}, 4},
+		{"below gap", Rect{0, 5, 1, 6}, Rect{0, 0, 1, 1}, 3},
+		{"corner gap", Rect{3, 4, 5, 6}, Rect{0, 0, 1, 1}, 2},
+		{"identical", Rect{0, 0, 1, 1}, Rect{0, 0, 1, 1}, 4},
+	}
+	for _, tc := range cases {
+		d2, n := RectDistSquaredCost(tc.r, tc.s)
+		want := naiveRectDist(tc.r, tc.s)
+		if math.Abs(math.Sqrt(d2)-want) > 1e-12 {
+			t.Errorf("%s: dist = %v, want %v", tc.name, math.Sqrt(d2), want)
+		}
+		if n != tc.comps {
+			t.Errorf("%s: comparisons = %d, want %d", tc.name, n, tc.comps)
+		}
+		// The distance function must be symmetric in its arguments.
+		d2s, _ := RectDistSquaredCost(tc.s, tc.r)
+		if d2 != d2s {
+			t.Errorf("%s: asymmetric distance %v vs %v", tc.name, d2, d2s)
+		}
+	}
+}
+
+func TestWithinDistSquaredCost(t *testing.T) {
+	r := Rect{0, 0, 1, 1}
+	s := Rect{4, 4, 5, 5} // corner gap: distance = sqrt(9+9) = 4.2426...
+	eps := 4.0
+	ok, n := WithinDistSquaredCost(r, s, eps*eps)
+	if ok {
+		t.Fatalf("corner distance %.4f must exceed eps %.4f", math.Sqrt(18), eps)
+	}
+	if n != 5 { // 2 per axis (gap on the high side of r) + 1 threshold
+		t.Fatalf("comparisons = %d, want 5", n)
+	}
+	ok, _ = WithinDistSquaredCost(r, s, 18.0)
+	if !ok {
+		t.Fatalf("distance sqrt(18) must be within sqrt(18)")
+	}
+	// The expanded-rectangle filter must never reject a within-distance pair:
+	// dist(r,s) <= eps implies ExpandRect(r, eps) intersects s.
+	for _, eps := range []float64{0.5, 1, 3, 4.3} {
+		within, _ := WithinDistSquaredCost(r, s, eps*eps)
+		if within && !ExpandRect(r, eps).Intersects(s) {
+			t.Fatalf("eps=%v: filter rejected a qualifying pair", eps)
+		}
+	}
+}

@@ -34,7 +34,11 @@ type heightsScratch struct {
 	pairs               []sweep.Pair
 	queries             []geom.Rect
 	ids                 []int32
-	batch               rtree.BatchScratch
+	// exact keeps the unexpanded leaf rectangles aligned with queries, so
+	// the within-distance predicate can run its exact Euclidean test on the
+	// original geometry when a batched window query reports a hit.
+	exact []geom.Rect
+	batch rtree.BatchScratch
 }
 
 // arena bundles all scratch buffers of one join run.  Arenas are recycled
@@ -73,6 +77,21 @@ func appendAllIdx(idx []int32, n int) []int32 {
 func gatherRects(dst []geom.Rect, entries []rtree.Entry, idx []int32) []geom.Rect {
 	for _, i := range idx {
 		dst = append(dst, entries[i].Rect)
+	}
+	return dst
+}
+
+// gatherRectsEps appends the epsilon-expanded rectangles of the selected
+// entries — the R-side view of the within-distance filter.  With eps == 0 it
+// is gatherRects.
+//
+//repro:hotpath
+func gatherRectsEps(dst []geom.Rect, entries []rtree.Entry, idx []int32, eps float64) []geom.Rect {
+	if eps == 0 {
+		return gatherRects(dst, entries, idx)
+	}
+	for _, i := range idx {
+		dst = append(dst, geom.ExpandRect(entries[i].Rect, eps))
 	}
 	return dst
 }

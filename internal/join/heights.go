@@ -47,9 +47,19 @@ func (e *executor) emitLeafDir(dataID, subtreeID int32, swapped bool) {
 // from the executor's single heights arena.
 func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.Tree, rect *geom.Rect, swapped bool) {
 	h := &e.arena.heights
+	// Under the within-distance predicate the R-side rectangles are the
+	// expanded ones; which physical side that is depends on the orientation
+	// chosen by handleHeightDifference.  The pairwise leaf-vs-directory tests
+	// below expand the leaf rectangle instead — the expanded-intersection
+	// test is symmetric in the per-axis gaps, so the two conventions accept
+	// exactly the same pairs.
+	leafEps, dirEps := e.eps, 0.0
+	if swapped {
+		leafEps, dirEps = 0, e.eps
+	}
 	if rect != nil {
-		h.leafIdx = e.restrictIdx(leaf.Entries, *rect, h.leafIdx[:0])
-		h.dirIdx = e.restrictIdx(dir.Entries, *rect, h.dirIdx[:0])
+		h.leafIdx = e.restrictIdxEps(leaf.Entries, *rect, h.leafIdx[:0], leafEps)
+		h.dirIdx = e.restrictIdxEps(dir.Entries, *rect, h.dirIdx[:0], dirEps)
 	} else {
 		h.leafIdx = appendAllIdx(h.leafIdx[:0], len(leaf.Entries))
 		h.dirIdx = appendAllIdx(h.dirIdx[:0], len(dir.Entries))
@@ -66,6 +76,13 @@ func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.T
 		// the loop (it reads the current h.ids at call time), so the loop body
 		// allocates nothing.
 		emit := func(q int, found rtree.Entry) {
+			if e.eps > 0 {
+				ok, cost := geom.WithinDistSquaredCost(h.exact[q], found.Rect, e.eps2)
+				e.local.Comparisons += cost
+				if !ok {
+					return
+				}
+			}
 			e.emitLeafDir(h.ids[q], found.Data, swapped)
 		}
 		for _, id := range h.dirIdx {
@@ -75,15 +92,18 @@ func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.T
 			de := dir.Entries[id]
 			h.queries = h.queries[:0]
 			h.ids = h.ids[:0]
+			h.exact = h.exact[:0]
 			var comps int64
 			for _, il := range h.leafIdx {
 				le := &leaf.Entries[il]
 				e.local.PairsTested++
-				ok, cost := geom.IntersectsCost(le.Rect, de.Rect)
+				q := e.expandR(le.Rect)
+				ok, cost := geom.IntersectsCost(q, de.Rect)
 				comps += cost
 				if ok {
-					h.queries = append(h.queries, le.Rect)
+					h.queries = append(h.queries, q)
 					h.ids = append(h.ids, le.Data)
+					h.exact = append(h.exact, le.Rect)
 				}
 			}
 			e.local.Comparisons += comps
@@ -101,7 +121,7 @@ func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.T
 		// spatially local order; the shared LRU buffer provides the reuse.
 		e.sortIdxByXL(h.leafIdx, leaf.Entries)
 		e.sortIdxByXL(h.dirIdx, dir.Entries)
-		h.leafRects = gatherRects(h.leafRects[:0], leaf.Entries, h.leafIdx)
+		h.leafRects = gatherRectsEps(h.leafRects[:0], leaf.Entries, h.leafIdx, e.eps)
 		h.dirRects = gatherRects(h.dirRects[:0], dir.Entries, h.dirIdx)
 		h.pairs = sweep.AppendPairs(h.leafRects, h.dirRects, &e.local, h.pairs[:0])
 		e.local.PairsTested += int64(len(h.pairs))
@@ -113,7 +133,14 @@ func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.T
 			le := leaf.Entries[h.leafIdx[p.R]]
 			de := dir.Entries[h.dirIdx[p.S]]
 			dirTree.AccessNode(e.tracker, de.Child)
-			dirTree.SearchSubtree(de.Child, le.Rect, e.tracker, func(found rtree.Entry) bool {
+			dirTree.SearchSubtree(de.Child, e.expandR(le.Rect), e.tracker, func(found rtree.Entry) bool {
+				if e.eps > 0 {
+					ok, cost := geom.WithinDistSquaredCost(le.Rect, found.Rect, e.eps2)
+					e.local.Comparisons += cost
+					if !ok {
+						return true
+					}
+				}
 				e.emitLeafDir(le.Data, found.Data, swapped)
 				return true
 			})
@@ -131,14 +158,21 @@ func (e *executor) joinLeafWithDirectory(leaf, dir *rtree.Node, dirTree *rtree.T
 				}
 				de := dir.Entries[id]
 				e.local.PairsTested++
-				ok, cost := geom.IntersectsCost(le.Rect, de.Rect)
+				ok, cost := geom.IntersectsCost(e.expandR(le.Rect), de.Rect)
 				e.local.Comparisons += cost
 				if !ok {
 					continue
 				}
 				e.local.FlushTo(e.metrics)
 				dirTree.AccessNode(e.tracker, de.Child)
-				dirTree.SearchSubtree(de.Child, le.Rect, e.tracker, func(found rtree.Entry) bool {
+				dirTree.SearchSubtree(de.Child, e.expandR(le.Rect), e.tracker, func(found rtree.Entry) bool {
+					if e.eps > 0 {
+						ok, cost := geom.WithinDistSquaredCost(le.Rect, found.Rect, e.eps2)
+						e.local.Comparisons += cost
+						if !ok {
+							return true
+						}
+					}
 					e.emitLeafDir(le.Data, found.Data, swapped)
 					return true
 				})

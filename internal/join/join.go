@@ -6,10 +6,12 @@
 // baseline without index support.
 //
 // All algorithms compute the MBR-spatial-join: the set of pairs of object
-// identifiers whose minimum bounding rectangles intersect (section 2.1).  CPU
-// cost is charged to a metrics.Collector as floating-point comparisons and
-// I/O cost as page accesses through a shared LRU buffer, mirroring the
-// paper's cost measures.
+// identifiers whose minimum bounding rectangles satisfy the configured join
+// predicate — intersection (section 2.1), within-distance (epsilon-expanded
+// rectangles through the same machinery) or k-nearest-neighbours (a
+// best-first traversal over node-pair MBR distance).  CPU cost is charged to
+// a metrics.Collector as floating-point comparisons and I/O cost as page
+// accesses through a shared LRU buffer, mirroring the paper's cost measures.
 //
 //repro:measured
 package join
@@ -140,6 +142,10 @@ type Options struct {
 	// paper's Table 4, which isolates the effect of spatial sorting from the
 	// effect of restricting the search space.
 	DisableRestriction bool
+	// Predicate selects the join condition.  The zero value is the
+	// MBR-intersection predicate of the paper; see PredWithinDist and
+	// PredKNN for the distance-based extensions.
+	Predicate Predicate
 	// OnPair, if non-nil, is called for every result pair in the order the
 	// algorithm produces them (before any materialisation).
 	OnPair func(Pair)
@@ -177,6 +183,8 @@ type Result struct {
 	Metrics metrics.Snapshot
 	// Method records the algorithm that produced the result.
 	Method Method
+	// Predicate records the join condition the result answers.
+	Predicate Predicate
 	// WorkerMetrics holds one counter snapshot per worker for a ParallelJoin
 	// (nil for sequential joins and for parallel runs that fell back to the
 	// sequential algorithm).  The experiments use it to report load-balance
@@ -339,6 +347,9 @@ func Join(r, s *rtree.Tree, opts Options) (*Result, error) {
 	if r.PageSize() != s.PageSize() {
 		return nil, fmt.Errorf("%w: %d vs %d", ErrPageSizeMismatch, r.PageSize(), s.PageSize())
 	}
+	if err := opts.Predicate.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.Context != nil && opts.Context.Err() != nil {
 		return nil, cancelErr(opts.Context)
 	}
@@ -374,17 +385,31 @@ func Join(r, s *rtree.Tree, opts Options) (*Result, error) {
 		onPair:  opts.OnPair,
 		discard: opts.DiscardPairs,
 	}
+	if opts.Predicate.Kind == PredWithinDist {
+		e.eps = opts.Predicate.Epsilon
+		e.eps2 = e.eps * e.eps
+	}
 
-	switch opts.Method {
-	case NestedLoop:
+	switch {
+	case opts.Predicate.Kind == PredKNN:
+		// The kNN predicate replaces the synchronized descent with a
+		// best-first traversal over node-pair MBR distance; the read-schedule
+		// variants SJ1-SJ5 do not apply.  NestedLoop remains the index-free
+		// oracle baseline.
+		if opts.Method == NestedLoop {
+			e.nestedLoopKNN()
+		} else {
+			e.runKNN()
+		}
+	case opts.Method == NestedLoop:
 		e.nestedLoop()
-	case SJ1:
+	case opts.Method == SJ1:
 		e.runSJ1()
-	case SJ2:
+	case opts.Method == SJ2:
 		e.runSJ2()
-	case SJ3, SJ5:
+	case opts.Method == SJ3, opts.Method == SJ5:
 		e.runSweep(opts.Method)
-	case SJ4:
+	case opts.Method == SJ4:
 		e.runSweep(SJ4)
 	default:
 		arenaPool.Put(ar)
@@ -399,7 +424,7 @@ func Join(r, s *rtree.Tree, opts Options) (*Result, error) {
 	if err := tracker.ReadErr(); err != nil {
 		return nil, fmt.Errorf("join: physical page read failed: %w", err)
 	}
-	res := &Result{Method: opts.Method, Pairs: e.pairs, Count: e.count}
+	res := &Result{Method: opts.Method, Predicate: opts.Predicate, Pairs: e.pairs, Count: e.count}
 	res.Metrics = collector.Snapshot().Sub(before)
 	return res, nil
 }
@@ -422,6 +447,11 @@ type executor struct {
 	cancel  *cancelWatch
 	sorter  idxSorter
 	zsorter zkeySorter
+
+	// eps and eps2 cache the within-distance threshold (and its square) of
+	// Options.Predicate; both stay 0 for every other predicate, which keeps
+	// expandR an identity and the intersection paths bit-identical.
+	eps, eps2 float64
 
 	onPair  func(Pair)
 	discard bool

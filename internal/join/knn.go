@@ -1,0 +1,376 @@
+package join
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// kNN join: for every R item, report its K nearest S items by the minimum
+// Euclidean distance between the minimum bounding rectangles.
+//
+// The traversal is best-first over node pairs: a priority queue keyed by the
+// squared MBR distance of the pair (ties broken by insertion sequence, so the
+// schedule is deterministic) repeatedly pops the closest pair, descends it,
+// and stops once the popped distance exceeds every item's current kth-best
+// distance — from then on no remaining pair can improve any result heap,
+// because a child pair is never closer than its parent.  Each R item carries
+// a bounded max-heap of its best (distance, S id) candidates; ties on
+// distance are broken towards the smaller S identifier, which makes the
+// result set independent of the traversal order and therefore identical
+// across sequential, parallel and sharded executions.
+//
+// Distances stay squared end to end (no square root is ever taken or
+// charged); every distance computation is charged through the counted
+// geom.RectDistSquaredCost and every heap admission test charges one
+// threshold comparison, extending the paper's comparison-based CPU measure
+// to the new predicate.
+
+// nnCand is one candidate neighbour in an item's result heap.
+type nnCand struct {
+	d2  float64
+	sID int32
+}
+
+// worse reports whether a ranks strictly after b in the (distance, S id)
+// order — the order the K nearest are selected under.
+func (a nnCand) worse(b nnCand) bool {
+	if a.d2 != b.d2 {
+		return a.d2 > b.d2
+	}
+	return a.sID > b.sID
+}
+
+// nnHeap is a bounded max-heap over the (distance, S id) order: the root is
+// the worst of the current candidates, so a full heap admits a new candidate
+// exactly when the candidate ranks before the root.
+type nnHeap []nnCand
+
+func (h nnHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].worse(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (h nnHeap) siftDown(i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && h[l].worse(h[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && h[r].worse(h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// knnItem is the per-R-item result state.
+type knnItem struct {
+	id   int32
+	heap nnHeap
+}
+
+// tau returns the item's pruning bound: the distance of its kth-best
+// candidate, or +Inf while the heap is not full.
+func (it *knnItem) tau(k int) float64 {
+	if len(it.heap) < k {
+		return math.Inf(1)
+	}
+	return it.heap[0].d2
+}
+
+// offer admits the candidate if it ranks among the item's K best, charging
+// one threshold comparison for the admission test (the distance computation
+// itself is charged by the caller).
+func (it *knnItem) offer(c nnCand, k int, comps *int64) {
+	if len(it.heap) < k {
+		it.heap = append(it.heap, c)
+		it.heap.siftUp(len(it.heap) - 1)
+		return
+	}
+	*comps++
+	if !c.worse(it.heap[0]) && c != it.heap[0] {
+		it.heap[0] = c
+		it.heap.siftDown(0)
+	}
+}
+
+// knnPair is one entry of the best-first queue.
+type knnPair struct {
+	d2  float64
+	seq int64
+	rn  *rtree.Node
+	sn  *rtree.Node
+}
+
+// knnQueue is a min-heap of node pairs keyed by (distance, insertion
+// sequence).  The sequence tie-break pins the pop order of equidistant
+// pairs, keeping the read schedule deterministic.
+type knnQueue []knnPair
+
+func (q knnQueue) before(i, j int) bool {
+	if q[i].d2 != q[j].d2 {
+		return q[i].d2 < q[j].d2
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *knnQueue) push(p knnPair) {
+	*q = append(*q, p)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(i, parent) {
+			break
+		}
+		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
+		i = parent
+	}
+}
+
+func (q *knnQueue) pop() knnPair {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	*q = h
+	i := 0
+	for {
+		best := i
+		if l := 2*i + 1; l < len(h) && q.before(l, best) {
+			best = l
+		}
+		if r := 2*i + 2; r < len(h) && q.before(r, best) {
+			best = r
+		}
+		if best == i {
+			return top
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// knnState bundles the traversal state of one kNN run over one R subtree.
+type knnState struct {
+	k     int
+	items []knnItem
+	slot  map[int32]int32 // R item id -> index into items
+	queue knnQueue
+	seq   int64
+}
+
+// registerItems collects the R items of the subtree rooted at rn in
+// depth-first entry order, so the emission order is deterministic and
+// independent of the traversal.
+func (st *knnState) registerItems(rn *rtree.Node) {
+	if rn.IsLeaf() {
+		for i := range rn.Entries {
+			id := rn.Entries[i].Data
+			st.slot[id] = int32(len(st.items))
+			st.items = append(st.items, knnItem{id: id})
+		}
+		return
+	}
+	for i := range rn.Entries {
+		st.registerItems(rn.Entries[i].Child)
+	}
+}
+
+// tauMax returns the exact current maximum pruning bound over all items.
+// The popped distances are non-decreasing (a child pair is at least as far
+// apart as its parent), so once a popped distance exceeds this bound the
+// traversal can stop: no remaining pair can improve any heap.
+func (st *knnState) tauMax() float64 {
+	worst := 0.0
+	for i := range st.items {
+		if t := st.items[i].tau(st.k); t > worst {
+			worst = t
+			if math.IsInf(worst, 1) {
+				return worst
+			}
+		}
+	}
+	return worst
+}
+
+// runKNN executes the kNN join with the best-first node-pair traversal.
+// The read-schedule methods SJ1-SJ5 do not apply here: the priority order
+// *is* the read schedule.
+func (e *executor) runKNN() {
+	e.knnFrom(e.r.Root(), e.s.Root())
+}
+
+// knnFrom joins the R subtree rooted at rn against the S subtree rooted at
+// sn and emits K nearest neighbours for every R item of the subtree.  Pages
+// are read when their pair is popped — the queue's priority order is the
+// read schedule, and pairs the stop bound prunes are never charged.
+// ParallelJoin calls it once per R root entry, so the per-task results are
+// disjoint in R and merge by concatenation under any schedule.
+func (e *executor) knnFrom(rn, sn *rtree.Node) {
+	st := knnState{
+		k:    e.opts.Predicate.K,
+		slot: make(map[int32]int32),
+	}
+	st.registerItems(rn)
+	if len(st.items) == 0 {
+		return
+	}
+
+	d2, cost := geom.RectDistSquaredCost(rn.MBR(), sn.MBR())
+	e.local.Comparisons += cost
+	st.queue.push(knnPair{d2: d2, seq: st.seq, rn: rn, sn: sn})
+	st.seq++
+
+	for len(st.queue) > 0 {
+		if e.cancel.cancelled() {
+			return
+		}
+		p := st.queue.pop()
+		if p.d2 > st.tauMax() {
+			break
+		}
+		e.r.AccessNode(e.tracker, p.rn)
+		e.s.AccessNode(e.tracker, p.sn)
+		e.knnProcess(&st, p)
+		e.local.FlushTo(e.metrics)
+	}
+
+	// Emit in registration (depth-first R entry) order, each item's
+	// neighbours ascending by (distance, S id).
+	for i := range st.items {
+		it := &st.items[i]
+		sort.Slice(it.heap, func(a, b int) bool { return it.heap[b].worse(it.heap[a]) })
+		for _, c := range it.heap {
+			e.emit(Pair{R: it.id, S: c.sID})
+		}
+	}
+	e.local.FlushTo(e.metrics)
+}
+
+// knnProcess expands one popped node pair: leaf-leaf pairs feed the result
+// heaps, directory levels push their child pairs keyed by entry-rectangle
+// distance (the entry rectangles are in the already-read parent, so pushing
+// costs no I/O).
+func (e *executor) knnProcess(st *knnState, p knnPair) {
+	rLeaf, sLeaf := p.rn.IsLeaf(), p.sn.IsLeaf()
+	switch {
+	case rLeaf && sLeaf:
+		var comps int64
+		for ir := range p.rn.Entries {
+			er := &p.rn.Entries[ir]
+			it := &st.items[st.slot[er.Data]]
+			for is := range p.sn.Entries {
+				es := &p.sn.Entries[is]
+				d2, cost := geom.RectDistSquaredCost(er.Rect, es.Rect)
+				comps += cost
+				it.offer(nnCand{d2: d2, sID: es.Data}, st.k, &comps)
+			}
+		}
+		e.local.Comparisons += comps
+		e.local.PairsTested += int64(len(p.rn.Entries) * len(p.sn.Entries))
+	case rLeaf:
+		// Heights differ: only the S side descends.
+		rMBR := p.rn.MBR()
+		var comps int64
+		for is := range p.sn.Entries {
+			es := &p.sn.Entries[is]
+			d2, cost := geom.RectDistSquaredCost(rMBR, es.Rect)
+			comps += cost
+			st.queue.push(knnPair{d2: d2, seq: st.seq, rn: p.rn, sn: es.Child})
+			st.seq++
+		}
+		e.local.Comparisons += comps
+	case sLeaf:
+		sMBR := p.sn.MBR()
+		var comps int64
+		for ir := range p.rn.Entries {
+			er := &p.rn.Entries[ir]
+			d2, cost := geom.RectDistSquaredCost(er.Rect, sMBR)
+			comps += cost
+			st.queue.push(knnPair{d2: d2, seq: st.seq, rn: er.Child, sn: p.sn})
+			st.seq++
+		}
+		e.local.Comparisons += comps
+	default:
+		var comps int64
+		for ir := range p.rn.Entries {
+			er := &p.rn.Entries[ir]
+			for is := range p.sn.Entries {
+				es := &p.sn.Entries[is]
+				d2, cost := geom.RectDistSquaredCost(er.Rect, es.Rect)
+				comps += cost
+				st.queue.push(knnPair{d2: d2, seq: st.seq, rn: er.Child, sn: es.Child})
+				st.seq++
+			}
+		}
+		e.local.Comparisons += comps
+	}
+}
+
+// nestedLoopKNN is the index-free kNN baseline and oracle: every R item is
+// tested against every S item, each keeping its K best candidates.
+func (e *executor) nestedLoopKNN() {
+	var rLeaves, sLeaves []*rtree.Node
+	e.r.Walk(func(n *rtree.Node) {
+		if n.IsLeaf() {
+			rLeaves = append(rLeaves, n)
+		}
+	})
+	e.s.Walk(func(n *rtree.Node) {
+		if n.IsLeaf() {
+			sLeaves = append(sLeaves, n)
+		}
+	})
+	k := e.opts.Predicate.K
+	var items []knnItem
+	for _, rn := range rLeaves {
+		if e.cancel.cancelled() {
+			return
+		}
+		e.r.AccessNode(e.tracker, rn)
+		base := len(items)
+		for i := range rn.Entries {
+			items = append(items, knnItem{id: rn.Entries[i].Data})
+		}
+		for _, sn := range sLeaves {
+			if e.cancel.cancelled() {
+				return
+			}
+			e.s.AccessNode(e.tracker, sn)
+			var comps int64
+			for ir := range rn.Entries {
+				it := &items[base+ir]
+				for is := range sn.Entries {
+					es := &sn.Entries[is]
+					d2, cost := geom.RectDistSquaredCost(rn.Entries[ir].Rect, es.Rect)
+					comps += cost
+					it.offer(nnCand{d2: d2, sID: es.Data}, k, &comps)
+				}
+			}
+			e.local.Comparisons += comps
+			e.local.FlushTo(e.metrics)
+		}
+	}
+	for i := range items {
+		it := &items[i]
+		sort.Slice(it.heap, func(a, b int) bool { return it.heap[b].worse(it.heap[a]) })
+		for _, c := range it.heap {
+			e.emit(Pair{R: it.id, S: c.sID})
+		}
+	}
+	e.local.FlushTo(e.metrics)
+}

@@ -35,7 +35,7 @@ func (e *executor) nestedLoop() {
 			var comps int64
 			for _, er := range rn.Entries {
 				for _, es := range sn.Entries {
-					ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
+					ok, cost := e.leafTest(er.Rect, es.Rect)
 					comps += cost
 					if ok {
 						e.emit(Pair{R: er.Data, S: es.Data})
@@ -72,7 +72,7 @@ func (e *executor) sj1(nr, ns *rtree.Node) {
 			es := &ns.Entries[is]
 			for ir := range nr.Entries {
 				er := &nr.Entries[ir]
-				ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
+				ok, cost := e.leafTest(er.Rect, es.Rect)
 				comps += cost
 				if ok {
 					e.emit(Pair{R: er.Data, S: es.Data})
@@ -89,7 +89,7 @@ func (e *executor) sj1(nr, ns *rtree.Node) {
 		for ir := range nr.Entries {
 			er := nr.Entries[ir]
 			e.local.PairsTested++
-			ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
+			ok, cost := geom.IntersectsCost(e.expandR(er.Rect), es.Rect)
 			e.local.Comparisons += cost
 			if !ok {
 				continue
@@ -105,7 +105,7 @@ func (e *executor) sj1(nr, ns *rtree.Node) {
 // runSJ2 executes SpatialJoin2: SJ1 plus the search-space restriction.
 func (e *executor) runSJ2() {
 	e.accessRoots()
-	rootRect, ok := rootIntersection(e.r, e.s)
+	rootRect, ok := e.rootRect()
 	if !ok {
 		return
 	}
@@ -123,6 +123,18 @@ func rootIntersection(r, s *rtree.Tree) (geom.Rect, bool) {
 	return rb.Intersection(sb)
 }
 
+// rootRect returns the initial search-space restriction of this run: the
+// intersection of the (epsilon-expanded, for within-distance) R bounds with
+// the S bounds.  An empty intersection means an empty join result.
+func (e *executor) rootRect() (geom.Rect, bool) {
+	rb, okR := e.r.Bounds()
+	sb, okS := e.s.Bounds()
+	if !okR || !okS {
+		return geom.Rect{}, false
+	}
+	return e.expandR(rb).Intersection(sb)
+}
+
 // sj2 joins two nodes considering only entries that intersect rect, the
 // intersection of the parents' rectangles (section 4.2, "restricting the
 // search space").  The marking scans are charged one comparison predicate per
@@ -138,7 +150,7 @@ func (e *executor) sj2(nr, ns *rtree.Node, rect geom.Rect, depth int) {
 		return
 	}
 	f := e.arena.frame(depth)
-	f.rIdx = e.restrictIdx(nr.Entries, rect, f.rIdx[:0])
+	f.rIdx = e.restrictIdxEps(nr.Entries, rect, f.rIdx[:0], e.eps)
 	f.sIdx = e.restrictIdx(ns.Entries, rect, f.sIdx[:0])
 	if nr.IsLeaf() && ns.IsLeaf() {
 		var comps, tested int64
@@ -147,7 +159,7 @@ func (e *executor) sj2(nr, ns *rtree.Node, rect geom.Rect, depth int) {
 			for _, ir := range f.rIdx {
 				er := &nr.Entries[ir]
 				tested++
-				ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
+				ok, cost := e.leafTest(er.Rect, es.Rect)
 				comps += cost
 				if ok {
 					e.emit(Pair{R: er.Data, S: es.Data})
@@ -164,12 +176,13 @@ func (e *executor) sj2(nr, ns *rtree.Node, rect geom.Rect, depth int) {
 		for _, ir := range f.rIdx {
 			er := nr.Entries[ir]
 			e.local.PairsTested++
-			ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
+			erRect := e.expandR(er.Rect)
+			ok, cost := geom.IntersectsCost(erRect, es.Rect)
 			e.local.Comparisons += cost
 			if !ok {
 				continue
 			}
-			childRect, _ := er.Rect.Intersection(es.Rect)
+			childRect, _ := erRect.Intersection(es.Rect)
 			e.r.AccessNode(e.tracker, er.Child)
 			e.s.AccessNode(e.tracker, es.Child)
 			e.sj2(er.Child, es.Child, childRect, depth+1)
@@ -185,6 +198,26 @@ func (e *executor) restrictIdx(entries []rtree.Entry, rect geom.Rect, idx []int3
 	var comps int64
 	for i := range entries {
 		ok, cost := geom.IntersectsCost(entries[i].Rect, rect)
+		comps += cost
+		if ok {
+			idx = append(idx, int32(i))
+		}
+	}
+	e.local.Comparisons += comps
+	return idx
+}
+
+// restrictIdxEps is restrictIdx for entries of the R tree: under the
+// within-distance predicate the R-side rectangles are epsilon-expanded in
+// every test they take part in, including the marking scan against the
+// parents' intersection rectangle.  With eps == 0 it is restrictIdx.
+func (e *executor) restrictIdxEps(entries []rtree.Entry, rect geom.Rect, idx []int32, eps float64) []int32 {
+	if eps == 0 {
+		return e.restrictIdx(entries, rect, idx)
+	}
+	var comps int64
+	for i := range entries {
+		ok, cost := geom.IntersectsCost(geom.ExpandRect(entries[i].Rect, eps), rect)
 		comps += cost
 		if ok {
 			idx = append(idx, int32(i))

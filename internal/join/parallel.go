@@ -170,11 +170,22 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	if opts.Method == NestedLoop {
 		return nil, ErrParallelNestedLoop
 	}
+	if err := opts.Predicate.Validate(); err != nil {
+		return nil, err
+	}
 	switch popts.Strategy {
 	case PartitionDynamic, PartitionRoundRobin, PartitionLPT, PartitionSpatial, PartitionStealing:
 	default:
 		return nil, fmt.Errorf("join: %w: %v", ErrUnknownPartitionStrategy, popts.Strategy)
 	}
+	// eps is the within-distance expansion the planner applies to every
+	// R-side rectangle test; zero for the other predicates, keeping their
+	// plans bit-identical to the pre-predicate code.
+	var eps float64
+	if opts.Predicate.Kind == PredWithinDist {
+		eps = opts.Predicate.Epsilon
+	}
+	knn := opts.Predicate.Kind == PredKNN
 	if r.Root().IsLeaf() || s.Root().IsLeaf() {
 		// Trees this small offer no parallelism; run the sequential join.
 		// No workers ran, so the whole cost is "planning": PlanMetrics =
@@ -219,17 +230,29 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	r.AccessNode(planTracker, r.Root())
 	s.AccessNode(planTracker, s.Root())
 	var tasks []parallelTask
-	var comps int64
-	for _, er := range r.Root().Entries {
-		for _, es := range s.Root().Entries {
-			ok, cost := geom.IntersectsCost(er.Rect, es.Rect)
-			comps += cost
-			if ok {
-				tasks = append(tasks, parallelTask{er: er, es: es})
+	if knn {
+		// kNN tasks pair one R root entry with the whole of S: every S item
+		// is a potential neighbour of every R item, so the intersection test
+		// does not partition the work — disjointness in R does.  The per-task
+		// result sets are disjoint in R and merge by concatenation under any
+		// schedule.
+		sRoot := rtree.Entry{Rect: s.Root().MBR(), Child: s.Root()}
+		for _, er := range r.Root().Entries {
+			tasks = append(tasks, parallelTask{er: er, es: sRoot})
+		}
+	} else {
+		var comps int64
+		for _, er := range r.Root().Entries {
+			for _, es := range s.Root().Entries {
+				ok, cost := geom.IntersectsCost(expandEps(er.Rect, eps), es.Rect)
+				comps += cost
+				if ok {
+					tasks = append(tasks, parallelTask{er: er, es: es})
+				}
 			}
 		}
+		plan.Comparisons += comps
 	}
-	plan.Comparisons += comps
 	// With fewer qualifying root pairs than workers (times the configured
 	// granularity), split one level deeper so the task list offers enough
 	// parallelism; repeat while it helps.
@@ -239,7 +262,13 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	}
 	var scratches []*splitScratch
 	for len(tasks) > 0 && len(tasks) < minTasks && !watch.cancelled() {
-		split, ok := splitTasksParallel(r, s, tasks, planTracker, &plan, workers, &scratches)
+		var split []parallelTask
+		var ok bool
+		if knn {
+			split, ok = splitTasksKNN(r, tasks, planTracker)
+		} else {
+			split, ok = splitTasksParallel(r, s, tasks, planTracker, &plan, workers, &scratches, eps)
+		}
 		if !ok {
 			break
 		}
@@ -255,7 +284,7 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 		return nil, fmt.Errorf("join: physical page read failed while planning: %w", planErr)
 	}
 
-	res := &Result{Method: opts.Method, Strategy: popts.Strategy}
+	res := &Result{Method: opts.Method, Strategy: popts.Strategy, Predicate: opts.Predicate}
 	res.PlanMetrics = collector.Snapshot().Sub(before)
 	if len(tasks) == 0 {
 		res.Metrics = res.PlanMetrics
@@ -266,8 +295,8 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 		// the queue and the round-robin deal; the LPT and spatial strategies
 		// define their own task orders.
 		sort.SliceStable(tasks, func(i, j int) bool {
-			return tasks[i].er.Rect.IntersectionArea(tasks[i].es.Rect) >
-				tasks[j].er.Rect.IntersectionArea(tasks[j].es.Rect)
+			return expandEps(tasks[i].er.Rect, eps).IntersectionArea(tasks[i].es.Rect) >
+				expandEps(tasks[j].er.Rect, eps).IntersectionArea(tasks[j].es.Rect)
 		})
 	}
 
@@ -285,7 +314,7 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 	var est []float64
 	switch popts.Strategy {
 	case PartitionLPT, PartitionSpatial, PartitionStealing:
-		vecs = newTaskEstimator(r, s, !popts.DisableSampledStats).vectors(tasks)
+		vecs = newTaskEstimator(r, s, !popts.DisableSampledStats, opts.Predicate).vectors(tasks)
 		est = scalars(vecs)
 	}
 	schedule := buildSchedule(popts.Strategy, r, s, tasks, vecs, workers)
@@ -356,13 +385,21 @@ func ParallelJoin(r, s *rtree.Tree, popts ParallelOptions) (*Result, error) {
 				onPair:  onPair,
 				discard: opts.DiscardPairs,
 				pairs:   worker.pairs,
+				eps:     eps,
+				eps2:    eps * eps,
 			}
 			runTask := func(t parallelTask) {
 				if watch.cancelled() {
 					return
 				}
 				worker.tasks++
-				rect, ok := t.er.Rect.Intersection(t.es.Rect)
+				if knn {
+					// The best-first traversal reads its pages on pop,
+					// including the task's two subtree roots.
+					e.knnFrom(t.er.Child, t.es.Child)
+					return
+				}
+				rect, ok := e.expandR(t.er.Rect).Intersection(t.es.Rect)
 				if !ok {
 					return
 				}
@@ -542,12 +579,16 @@ type splitScratch struct {
 // restrict appends the entries of n intersecting the parent intersection
 // rectangle (the section-4.2 search-space restriction), charging the
 // comparisons to plan, and returns them sorted by lower x-corner together
-// with the parallel rectangle sequence the sweep consumes.
-func (sc *splitScratch) restrict(n *rtree.Node, inter geom.Rect, ents []rtree.Entry, rects []geom.Rect, plan *metrics.Local) ([]rtree.Entry, []geom.Rect) {
+// with the parallel rectangle sequence the sweep consumes.  eps, non-zero
+// only on the R side of a within-distance plan, expands every entry
+// rectangle before it is tested and gathered, mirroring the executor's
+// restrictIdxEps/gatherRectsEps pair; the x-sort order is unchanged by the
+// constant shift.
+func (sc *splitScratch) restrict(n *rtree.Node, inter geom.Rect, ents []rtree.Entry, rects []geom.Rect, plan *metrics.Local, eps float64) ([]rtree.Entry, []geom.Rect) {
 	ents = ents[:0]
 	var comps int64
 	for _, e := range n.Entries {
-		ok, cost := geom.IntersectsCost(e.Rect, inter)
+		ok, cost := geom.IntersectsCost(expandEps(e.Rect, eps), inter)
 		comps += cost
 		if ok {
 			ents = append(ents, e)
@@ -567,7 +608,7 @@ func (sc *splitScratch) restrict(n *rtree.Node, inter geom.Rect, ents []rtree.En
 	rects = rects[:0]
 	for _, i := range sc.idx {
 		sc.sorted = append(sc.sorted, ents[i])
-		rects = append(rects, ents[i].Rect)
+		rects = append(rects, expandEps(ents[i].Rect, eps))
 	}
 	copy(ents, sc.sorted)
 	return ents, rects
@@ -589,7 +630,7 @@ func (sc *splitScratch) restrict(n *rtree.Node, inter geom.Rect, ents []rtree.En
 // Splitting preserves the result set: a child pair whose rectangles do not
 // intersect cannot contribute any result, and the search-space restriction
 // never removes entries that take part in an intersecting pair.
-func expandTasks(tasks []parallelTask, sc *splitScratch, plan *metrics.Local, out []parallelTask) ([]parallelTask, bool) {
+func expandTasks(tasks []parallelTask, sc *splitScratch, plan *metrics.Local, out []parallelTask, eps float64) ([]parallelTask, bool) {
 	split := false
 	if out == nil {
 		out = make([]parallelTask, 0, 2*len(tasks))
@@ -599,13 +640,13 @@ func expandTasks(tasks []parallelTask, sc *splitScratch, plan *metrics.Local, ou
 			out = append(out, t)
 			continue
 		}
-		inter, ok := t.er.Rect.Intersection(t.es.Rect)
+		inter, ok := expandEps(t.er.Rect, eps).Intersection(t.es.Rect)
 		if !ok {
 			continue // qualifying tasks always intersect; degenerate guard
 		}
 		split = true
-		sc.rEnts, sc.rRects = sc.restrict(t.er.Child, inter, sc.rEnts, sc.rRects, plan)
-		sc.sEnts, sc.sRects = sc.restrict(t.es.Child, inter, sc.sEnts, sc.sRects, plan)
+		sc.rEnts, sc.rRects = sc.restrict(t.er.Child, inter, sc.rEnts, sc.rRects, plan, eps)
+		sc.sEnts, sc.sRects = sc.restrict(t.es.Child, inter, sc.sEnts, sc.sRects, plan, 0)
 		sc.pairs = sweep.AppendPairs(sc.rRects, sc.sRects, plan, sc.pairs[:0])
 		for _, p := range sc.pairs {
 			out = append(out, parallelTask{er: sc.rEnts[p.R], es: sc.sEnts[p.S]})
@@ -619,12 +660,12 @@ func expandTasks(tasks []parallelTask, sc *splitScratch, plan *metrics.Local, ou
 // exactly the access sequence the sequential split performed — so the
 // planning I/O accounting is bit-identical no matter how many goroutines ran
 // the CPU half.
-func chargeSplitReads(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker) {
+func chargeSplitReads(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker, eps float64) {
 	for _, t := range tasks {
 		if t.er.Child.IsLeaf() || t.es.Child.IsLeaf() {
 			continue
 		}
-		if !t.er.Rect.Intersects(t.es.Rect) {
+		if !expandEps(t.er.Rect, eps).Intersects(t.es.Rect) {
 			continue
 		}
 		r.AccessNode(tracker, t.er.Child)
@@ -635,12 +676,38 @@ func chargeSplitReads(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tr
 // splitTasks runs one split round on a single goroutine.  It reports false
 // when nothing could be split (all tasks reference leaf nodes), in which
 // case the task list is returned unchanged.
-func splitTasks(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker, plan *metrics.Local, sc *splitScratch) ([]parallelTask, bool) {
-	out, split := expandTasks(tasks, sc, plan, nil)
+func splitTasks(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker, plan *metrics.Local, sc *splitScratch, eps float64) ([]parallelTask, bool) {
+	out, split := expandTasks(tasks, sc, plan, nil, eps)
 	if !split {
 		return tasks, false
 	}
-	chargeSplitReads(r, s, tasks, tracker)
+	chargeSplitReads(r, s, tasks, tracker, eps)
+	return out, true
+}
+
+// splitTasksKNN runs one split round of a kNN plan: every task whose R
+// subtree root is a directory node is replaced by one task per child entry,
+// against the same unchanged S side.  No predicate tests run — every R item
+// has neighbours, so every child task qualifies unconditionally and the
+// round charges only the read of the expanded R node.  The output stays
+// disjoint in R, which is the property the merge relies on.
+func splitTasksKNN(r *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker) ([]parallelTask, bool) {
+	split := false
+	out := make([]parallelTask, 0, 2*len(tasks))
+	for _, t := range tasks {
+		if t.er.Child.IsLeaf() {
+			out = append(out, t)
+			continue
+		}
+		split = true
+		r.AccessNode(tracker, t.er.Child)
+		for _, er := range t.er.Child.Entries {
+			out = append(out, parallelTask{er: er, es: t.es})
+		}
+	}
+	if !split {
+		return tasks, false
+	}
 	return out, true
 }
 
@@ -659,7 +726,7 @@ const planChunkMinTasks = 16
 // (TestParallelPlanningMatchesSequential pins this).  This closes the
 // planning critical-path floor: at fine MinTasksPerWorker granularities the
 // split rounds dominated planning and ran on one goroutine only.
-func splitTasksParallel(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker, plan *metrics.Local, workers int, scratches *[]*splitScratch) ([]parallelTask, bool) {
+func splitTasksParallel(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.Tracker, plan *metrics.Local, workers int, scratches *[]*splitScratch, eps float64) ([]parallelTask, bool) {
 	chunks := workers
 	if max := len(tasks) / planChunkMinTasks; chunks > max {
 		chunks = max
@@ -668,7 +735,7 @@ func splitTasksParallel(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.
 		*scratches = append(*scratches, &splitScratch{})
 	}
 	if chunks <= 1 {
-		return splitTasks(r, s, tasks, tracker, plan, (*scratches)[0])
+		return splitTasks(r, s, tasks, tracker, plan, (*scratches)[0], eps)
 	}
 	outs := make([][]parallelTask, chunks)
 	locals := make([]metrics.Local, chunks)
@@ -679,7 +746,7 @@ func splitTasksParallel(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
-			outs[c], splits[c] = expandTasks(tasks[lo:hi], (*scratches)[c], &locals[c], nil)
+			outs[c], splits[c] = expandTasks(tasks[lo:hi], (*scratches)[c], &locals[c], nil, eps)
 		}(c, lo, hi)
 	}
 	wg.Wait()
@@ -693,7 +760,7 @@ func splitTasksParallel(r, s *rtree.Tree, tasks []parallelTask, tracker *buffer.
 	if !split {
 		return tasks, false
 	}
-	chargeSplitReads(r, s, tasks, tracker)
+	chargeSplitReads(r, s, tasks, tracker, eps)
 	out := outs[0]
 	for _, o := range outs[1:] {
 		out = append(out, o...)

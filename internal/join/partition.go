@@ -173,15 +173,17 @@ type taskEstimator struct {
 	model    costmodel.Model
 	pageSize int
 	r, s     sideModel
-	sampled  bool // both sides carry sampled statistics
+	sampled  bool      // both sides carry sampled statistics
+	pred     Predicate // the predicate the tasks will execute
 }
 
-func newTaskEstimator(r, s *rtree.Tree, useSampled bool) taskEstimator {
+func newTaskEstimator(r, s *rtree.Tree, useSampled bool, pred Predicate) taskEstimator {
 	e := taskEstimator{
 		model:    costmodel.Default(),
 		pageSize: r.PageSize(),
 		r:        newSideModel(r, useSampled),
 		s:        newSideModel(s, useSampled),
+		pred:     pred,
 	}
 	e.sampled = e.r.sampled && e.s.sampled
 	return e
@@ -231,8 +233,20 @@ func (v costVec) add(o costVec) costVec { return costVec{v.io + o.io, v.cpu + o.
 // feed the estimate — never the contents of the referenced child nodes,
 // which the planner has not read (and so has not paid I/O for).
 func (e taskEstimator) vec(t parallelTask) costVec {
-	inter := t.er.Rect.IntersectionArea(t.es.Rect)
-	fr := areaFraction(inter, t.er.Rect.Area())
+	if e.pred.Kind == PredKNN {
+		return e.vecKNN(t)
+	}
+	// Under the within-distance predicate every R-side rectangle test sees
+	// the epsilon-expanded rectangle, so the estimate uses the same view:
+	// the expansion grows the intersection, the covered page share and the
+	// expected entry counts exactly as it grows the executed work.
+	var eps float64
+	if e.pred.Kind == PredWithinDist {
+		eps = e.pred.Epsilon
+	}
+	erRect := expandEps(t.er.Rect, eps)
+	inter := erRect.IntersectionArea(t.es.Rect)
+	fr := areaFraction(inter, erRect.Area())
 	fs := areaFraction(inter, t.es.Rect.Area())
 	pages := fr*e.r.pages(t.er.Child.Level) + fs*e.s.pages(t.es.Child.Level)
 	if pages < 2 {
@@ -252,13 +266,31 @@ func (e taskEstimator) vec(t parallelTask) costVec {
 		wr, _, _ := e.r.cat.LeafExtent()
 		ws, _, _ := e.s.cat.LeafExtent()
 		var ix float64
-		if rect, ok := t.er.Rect.Intersection(t.es.Rect); ok {
+		if rect, ok := erRect.Intersection(t.es.Rect); ok {
 			ix = rect.Width()
 		}
 		tests := er * es * extentFraction(wr+ws, ix)
 		sorts := (er + es) * math.Log2(er+es+2)
 		comps = sorts + tests
 	}
+	c := e.model.Estimate(int64(pages+0.5), e.pageSize, int64(comps+0.5))
+	return costVec{io: c.IOSeconds, cpu: c.CPUSeconds}
+}
+
+// vecKNN estimates one kNN task: the best-first traversal reads the whole R
+// subtree (every R item must fill its heap) plus the S pages the pruning
+// leaves, modelled as the full S-side subtree — an overestimate, but one
+// shared by every task, so the *ranking* the schedules consume is driven by
+// the R-side differences.  The CPU estimate charges each expected R data
+// entry a near-logarithmic descent of S plus its K heap admissions.
+func (e taskEstimator) vecKNN(t parallelTask) costVec {
+	pages := e.r.pages(t.er.Child.Level) + e.s.pages(t.es.Child.Level)
+	if pages < 2 {
+		pages = 2
+	}
+	er := e.r.entries(t.er.Child.Level)
+	es := e.s.entries(t.es.Child.Level)
+	comps := er * (math.Log2(es+2) + float64(e.pred.K))
 	c := e.model.Estimate(int64(pages+0.5), e.pageSize, int64(comps+0.5))
 	return costVec{io: c.IOSeconds, cpu: c.CPUSeconds}
 }

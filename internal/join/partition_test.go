@@ -59,7 +59,7 @@ func TestBuildScheduleCoversAllTasks(t *testing.T) {
 	if len(tasks) < 4 {
 		t.Fatalf("want at least 4 root tasks, got %d", len(tasks))
 	}
-	vecs := newTaskEstimator(r, s, true).vectors(tasks)
+	vecs := newTaskEstimator(r, s, true, Intersects()).vectors(tasks)
 	for _, strategy := range PartitionStrategies {
 		for _, workers := range []int{1, 2, 3, len(tasks)} {
 			checkSchedule(t, buildSchedule(strategy, r, s, tasks, vecs, workers), len(tasks), workers)
@@ -79,7 +79,7 @@ func TestBuildScheduleCoversAllTasks(t *testing.T) {
 func TestBuildScheduleIsDeterministic(t *testing.T) {
 	r, s, _, _ := buildPair(t, 3000, 3000, storage.PageSize1K)
 	tasks := planTasks(r, s)
-	vecs := newTaskEstimator(r, s, true).vectors(tasks)
+	vecs := newTaskEstimator(r, s, true, Intersects()).vectors(tasks)
 	for _, strategy := range PartitionStrategies {
 		a := buildSchedule(strategy, r, s, tasks, vecs, 4)
 		b := buildSchedule(strategy, r, s, tasks, vecs, 4)
@@ -102,7 +102,7 @@ func TestBuildScheduleIsDeterministic(t *testing.T) {
 func TestLPTBalancesEstimates(t *testing.T) {
 	r, s, _, _ := buildPair(t, 4000, 4000, storage.PageSize1K)
 	tasks := planTasks(r, s)
-	est := newTaskEstimator(r, s, true).estimates(tasks)
+	est := newTaskEstimator(r, s, true, Intersects()).estimates(tasks)
 	for _, e := range est {
 		if e <= 0 {
 			t.Fatal("task estimates must be positive")
@@ -146,7 +146,7 @@ func TestSpatialScheduleIsHilbertContiguous(t *testing.T) {
 	// the regions have something to tile, as the planner itself does.
 	var plan metrics.Local
 	tracker := buffer.NewTracker(nil, metrics.NewCollector(), r.PageSize(), false)
-	tasks, ok := splitTasks(r, s, tasks, tracker, &plan, &splitScratch{})
+	tasks, ok := splitTasks(r, s, tasks, tracker, &plan, &splitScratch{}, 0)
 	if !ok {
 		t.Fatal("expected the root tasks to be splittable")
 	}
@@ -154,7 +154,7 @@ func TestSpatialScheduleIsHilbertContiguous(t *testing.T) {
 	if len(tasks) < workers*spatialRegionsPerWorker {
 		t.Fatalf("want at least %d tasks, got %d", workers*spatialRegionsPerWorker, len(tasks))
 	}
-	schedule := scheduleSpatial(r, s, tasks, newTaskEstimator(r, s, true).vectors(tasks), workers)
+	schedule := scheduleSpatial(r, s, tasks, newTaskEstimator(r, s, true, Intersects()).vectors(tasks), workers)
 	checkSchedule(t, schedule, len(tasks), workers)
 
 	world := jointWorld(r, s)

@@ -13,7 +13,7 @@ import (
 // z-order with pinning (SJ5).
 func (e *executor) runSweep(method Method) {
 	e.accessRoots()
-	rootRect, ok := rootIntersection(e.r, e.s)
+	rootRect, ok := e.rootRect()
 	if !ok {
 		return
 	}
@@ -51,16 +51,19 @@ func (e *executor) sweepJoin(nr, ns *rtree.Node, rect geom.Rect, method Method, 
 		f.rIdx = appendAllIdx(f.rIdx[:0], len(nr.Entries))
 		f.sIdx = appendAllIdx(f.sIdx[:0], len(ns.Entries))
 	} else {
-		f.rIdx = e.restrictIdx(nr.Entries, rect, f.rIdx[:0])
+		f.rIdx = e.restrictIdxEps(nr.Entries, rect, f.rIdx[:0], e.eps)
 		f.sIdx = e.restrictIdx(ns.Entries, rect, f.sIdx[:0])
 	}
 	if len(f.rIdx) == 0 || len(f.sIdx) == 0 {
 		e.local.FlushTo(e.metrics)
 		return
 	}
+	// Sorting by the lower x-corner is expansion-invariant (the expansion
+	// shifts every key by the same eps), so the sort runs on the stored
+	// entries for every predicate; only the gathered sweep input differs.
 	e.sortIdxByXL(f.rIdx, nr.Entries)
 	e.sortIdxByXL(f.sIdx, ns.Entries)
-	f.rRects = gatherRects(f.rRects[:0], nr.Entries, f.rIdx)
+	f.rRects = gatherRectsEps(f.rRects[:0], nr.Entries, f.rIdx, e.eps)
 	f.sRects = gatherRects(f.sRects[:0], ns.Entries, f.sIdx)
 
 	// The sorted intersection test produces the qualifying pairs in local
@@ -73,8 +76,25 @@ func (e *executor) sweepJoin(nr, ns *rtree.Node, rect geom.Rect, method Method, 
 	}
 
 	if nr.IsLeaf() && ns.IsLeaf() {
-		for _, p := range f.pairs {
-			e.emit(Pair{R: nr.Entries[f.rIdx[p.R]].Data, S: ns.Entries[f.sIdx[p.S]].Data})
+		if e.eps > 0 {
+			// The sweep filtered on expanded rectangles (a Chebyshev ball);
+			// the predicate is Euclidean, so corner pairs need the exact
+			// counted distance test before emission.
+			var comps int64
+			for _, p := range f.pairs {
+				er := &nr.Entries[f.rIdx[p.R]]
+				es := &ns.Entries[f.sIdx[p.S]]
+				ok, cost := geom.WithinDistSquaredCost(er.Rect, es.Rect, e.eps2)
+				comps += cost
+				if ok {
+					e.emit(Pair{R: er.Data, S: es.Data})
+				}
+			}
+			e.local.Comparisons += comps
+		} else {
+			for _, p := range f.pairs {
+				e.emit(Pair{R: nr.Entries[f.rIdx[p.R]].Data, S: ns.Entries[f.sIdx[p.S]].Data})
+			}
 		}
 		e.local.FlushTo(e.metrics)
 		return
@@ -87,7 +107,7 @@ func (e *executor) sweepJoin(nr, ns *rtree.Node, rect geom.Rect, method Method, 
 		world := nr.MBR().Union(ns.MBR())
 		f.zkeys = f.zkeys[:0]
 		for _, p := range f.pairs {
-			in, _ := nr.Entries[f.rIdx[p.R]].Rect.Intersection(ns.Entries[f.sIdx[p.S]].Rect)
+			in, _ := e.expandR(nr.Entries[f.rIdx[p.R]].Rect).Intersection(ns.Entries[f.sIdx[p.S]].Rect)
 			f.zkeys = append(f.zkeys, zorder.RectKey(in, world))
 		}
 		e.zsorter.pairs = f.pairs
@@ -111,7 +131,7 @@ func (e *executor) sweepJoin(nr, ns *rtree.Node, rect geom.Rect, method Method, 
 //
 //repro:hotpath
 func (e *executor) descend(er, es rtree.Entry, method Method, depth int) {
-	childRect, ok := er.Rect.Intersection(es.Rect)
+	childRect, ok := e.expandR(er.Rect).Intersection(es.Rect)
 	if !ok {
 		return
 	}

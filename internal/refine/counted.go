@@ -1,0 +1,225 @@
+package refine
+
+import "repro/internal/geom"
+
+// Counted refinement: the same exact-geometry tests as the boolean API, but
+// returning how many elementary floating-point operations the test performed,
+// in the unit of the paper's cost model (one op = one MBR-comparison
+// equivalent, priced by costmodel.ComparisonSeconds).  This is what lets the
+// experiments report refinement CPU separately from filter I/O the way
+// Section 5 of the paper does: the filter step's cost is counted inside
+// internal/join, the refinement step's cost is counted here, and the two are
+// priced with the same constants.
+//
+// The op weights below are the model, chosen to mirror geom's counting (an
+// MBR intersection test counts its 1-4 coordinate comparisons):
+//
+//   - a segment-pair bounding-box pre-test counts 1,
+//   - an exact segment intersection test counts 4 (four orientation tests),
+//   - an exact segment-pair distance counts 4 (four clamped projections),
+//   - a point-in-polygon ray cast counts 1 per edge visited.
+const (
+	opSegPairMBR  = 1
+	opSegPairTest = 4
+	opSegPairDist = 4
+	opEdgeCross   = 1
+)
+
+// IntersectsCost reports whether the two exact geometries intersect and the
+// number of counted refinement operations the test performed.  The boolean
+// result is identical to a.IntersectsGeometry(b).
+func IntersectsCost(a, b Geometry) (bool, int64) {
+	switch ag := a.(type) {
+	case Polyline:
+		switch bg := b.(type) {
+		case Polyline:
+			return polylinesIntersectCost(ag, bg)
+		case Polygon:
+			return polylinePolygonIntersectCost(ag, bg)
+		}
+	case Polygon:
+		switch bg := b.(type) {
+		case Polyline:
+			return polylinePolygonIntersectCost(bg, ag)
+		case Polygon:
+			return polygonsIntersectCost(ag, bg)
+		}
+	}
+	return false, 0
+}
+
+func polylinesIntersectCost(a, b Polyline) (bool, int64) {
+	var ops int64
+	for i := 0; i < a.Segments(); i++ {
+		sa := a.Segment(i)
+		bbA := sa.MBR()
+		for j := 0; j < b.Segments(); j++ {
+			sb := b.Segment(j)
+			ops += opSegPairMBR
+			if !bbA.Intersects(sb.MBR()) {
+				continue
+			}
+			ops += opSegPairTest
+			if sa.Intersects(sb) {
+				return true, ops
+			}
+		}
+	}
+	return false, ops
+}
+
+func polylinePolygonIntersectCost(l Polyline, p Polygon) (bool, int64) {
+	var ops int64
+	for i := 0; i < l.Segments(); i++ {
+		sl := l.Segment(i)
+		for j := 0; j < p.Edges(); j++ {
+			ops += opSegPairTest
+			if sl.Intersects(p.Edge(j)) {
+				return true, ops
+			}
+		}
+	}
+	for _, pt := range l.Points {
+		ops += int64(p.Edges()) * opEdgeCross
+		if p.ContainsPoint(pt) {
+			return true, ops
+		}
+	}
+	return false, ops
+}
+
+func polygonsIntersectCost(a, b Polygon) (bool, int64) {
+	var ops int64
+	for i := 0; i < a.Edges(); i++ {
+		ea := a.Edge(i)
+		for j := 0; j < b.Edges(); j++ {
+			ops += opSegPairTest
+			if ea.Intersects(b.Edge(j)) {
+				return true, ops
+			}
+		}
+	}
+	ops += int64(b.Edges()+a.Edges()) * opEdgeCross
+	return a.ContainsPoint(b.Ring[0]) || b.ContainsPoint(a.Ring[0]), ops
+}
+
+// DistanceWithin reports whether the exact geometries come within the given
+// distance of each other, and the counted refinement operations.  It is the
+// refinement test of the within-distance join: the filter step proves the
+// MBRs come within dist of each other, this proves (or refutes) it for the
+// geometries themselves.  dist must be >= 0; geometries that touch or
+// intersect are within any distance, including 0.
+func DistanceWithin(a, b Geometry, dist float64) (bool, int64) {
+	d2 := dist * dist
+	switch ag := a.(type) {
+	case Polyline:
+		switch bg := b.(type) {
+		case Polyline:
+			return polylinesWithinCost(ag, bg, d2, dist)
+		case Polygon:
+			return polylinePolygonWithinCost(ag, bg, d2)
+		}
+	case Polygon:
+		switch bg := b.(type) {
+		case Polyline:
+			return polylinePolygonWithinCost(bg, ag, d2)
+		case Polygon:
+			return polygonsWithinCost(ag, bg, d2)
+		}
+	}
+	return false, 0
+}
+
+func polylinesWithinCost(a, b Polyline, d2, dist float64) (bool, int64) {
+	var ops int64
+	for i := 0; i < a.Segments(); i++ {
+		sa := a.Segment(i)
+		// Expanding the segment's bounding box by dist turns the box pre-test
+		// of the intersection path into the distance pre-test: a segment pair
+		// whose expanded boxes miss cannot come within dist.
+		bbA := geom.ExpandRect(sa.MBR(), dist)
+		for j := 0; j < b.Segments(); j++ {
+			sb := b.Segment(j)
+			ops += opSegPairMBR
+			if !bbA.Intersects(sb.MBR()) {
+				continue
+			}
+			ops += opSegPairDist
+			if segDist2(sa, sb) <= d2 {
+				return true, ops
+			}
+		}
+	}
+	return false, ops
+}
+
+func polylinePolygonWithinCost(l Polyline, p Polygon, d2 float64) (bool, int64) {
+	var ops int64
+	for i := 0; i < l.Segments(); i++ {
+		sl := l.Segment(i)
+		for j := 0; j < p.Edges(); j++ {
+			ops += opSegPairDist
+			if segDist2(sl, p.Edge(j)) <= d2 {
+				return true, ops
+			}
+		}
+	}
+	// No segment comes within dist of the boundary; the only way the
+	// polyline is still within dist is from inside the polygon.
+	ops += int64(p.Edges()) * opEdgeCross
+	return p.ContainsPoint(l.Points[0]), ops
+}
+
+func polygonsWithinCost(a, b Polygon, d2 float64) (bool, int64) {
+	var ops int64
+	for i := 0; i < a.Edges(); i++ {
+		ea := a.Edge(i)
+		for j := 0; j < b.Edges(); j++ {
+			ops += opSegPairDist
+			if segDist2(ea, b.Edge(j)) <= d2 {
+				return true, ops
+			}
+		}
+	}
+	ops += int64(a.Edges()+b.Edges()) * opEdgeCross
+	return a.ContainsPoint(b.Ring[0]) || b.ContainsPoint(a.Ring[0]), ops
+}
+
+// segDist2 returns the squared minimum distance between two segments: zero if
+// they intersect, otherwise the least of the four endpoint-to-segment
+// distances.
+func segDist2(s, t Segment) float64 {
+	if s.Intersects(t) {
+		return 0
+	}
+	d := pointSegDist2(s.A, t)
+	if v := pointSegDist2(s.B, t); v < d {
+		d = v
+	}
+	if v := pointSegDist2(t.A, s); v < d {
+		d = v
+	}
+	if v := pointSegDist2(t.B, s); v < d {
+		d = v
+	}
+	return d
+}
+
+// pointSegDist2 returns the squared distance from p to the segment s (the
+// clamped projection onto the segment's supporting line).
+func pointSegDist2(p geom.Point, s Segment) float64 {
+	dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
+	l2 := dx*dx + dy*dy
+	if l2 == 0 {
+		vx, vy := p.X-s.A.X, p.Y-s.A.Y
+		return vx*vx + vy*vy
+	}
+	u := ((p.X-s.A.X)*dx + (p.Y-s.A.Y)*dy) / l2
+	if u < 0 {
+		u = 0
+	} else if u > 1 {
+		u = 1
+	}
+	cx, cy := s.A.X+u*dx-p.X, s.A.Y+u*dy-p.Y
+	return cx*cx + cy*cy
+}

@@ -1,0 +1,188 @@
+package refine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randPolyline(rng *rand.Rand, nPts int) Polyline {
+	pts := make([]geom.Point, nPts)
+	x, y := rng.Float64(), rng.Float64()
+	for i := range pts {
+		pts[i] = geom.Point{X: x, Y: y}
+		x += (rng.Float64() - 0.5) * 0.1
+		y += (rng.Float64() - 0.5) * 0.1
+	}
+	return Polyline{Points: pts}
+}
+
+func randPolygon(rng *rand.Rand, cx, cy float64) Polygon {
+	n := 3 + rng.Intn(5)
+	ring := make([]geom.Point, n)
+	for i := range ring {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		r := 0.02 + rng.Float64()*0.05
+		ring[i] = geom.Point{X: cx + r*math.Cos(ang), Y: cy + r*math.Sin(ang)}
+	}
+	return Polygon{Ring: ring}
+}
+
+// TestIntersectsCostMatchesBoolean pins that the counted intersection test
+// agrees with the uncounted one on every geometry-type pairing, and that it
+// reports a positive op count whenever it did any work.
+func TestIntersectsCostMatchesBoolean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	geoms := func() []Geometry {
+		return []Geometry{
+			randPolyline(rng, 2+rng.Intn(6)),
+			randPolygon(rng, rng.Float64(), rng.Float64()),
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		for _, a := range geoms() {
+			for _, b := range geoms() {
+				want := a.IntersectsGeometry(b)
+				got, ops := IntersectsCost(a, b)
+				if got != want {
+					t.Fatalf("trial %d: IntersectsCost=%v, IntersectsGeometry=%v for %T/%T", trial, got, want, a, b)
+				}
+				if ops <= 0 {
+					t.Fatalf("trial %d: non-positive op count %d", trial, ops)
+				}
+			}
+		}
+	}
+}
+
+// bruteDist2 is the oracle distance: the minimum over all segment pairs of
+// the two geometries' boundaries, with containment handled by the caller.
+func bruteSegments(g Geometry) []Segment {
+	switch gg := g.(type) {
+	case Polyline:
+		out := make([]Segment, gg.Segments())
+		for i := range out {
+			out[i] = gg.Segment(i)
+		}
+		return out
+	case Polygon:
+		out := make([]Segment, gg.Edges())
+		for i := range out {
+			out[i] = gg.Edge(i)
+		}
+		return out
+	}
+	return nil
+}
+
+func bruteWithin(a, b Geometry, dist float64) bool {
+	// Boundary-to-boundary distance.
+	for _, sa := range bruteSegments(a) {
+		for _, sb := range bruteSegments(b) {
+			if segDist2(sa, sb) <= dist*dist {
+				return true
+			}
+		}
+	}
+	// Containment: one geometry entirely inside the other polygon.
+	if pg, ok := a.(Polygon); ok {
+		switch o := b.(type) {
+		case Polyline:
+			if pg.ContainsPoint(o.Points[0]) {
+				return true
+			}
+		case Polygon:
+			if pg.ContainsPoint(o.Ring[0]) {
+				return true
+			}
+		}
+	}
+	if pg, ok := b.(Polygon); ok {
+		switch o := a.(type) {
+		case Polyline:
+			if pg.ContainsPoint(o.Points[0]) {
+				return true
+			}
+		case Polygon:
+			if pg.ContainsPoint(o.Ring[0]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestDistanceWithinAgainstOracle checks the counted distance refinement
+// against a brute-force oracle over random geometry pairs and distances.
+func TestDistanceWithinAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		var a, b Geometry
+		if rng.Intn(2) == 0 {
+			a = randPolyline(rng, 2+rng.Intn(5))
+		} else {
+			a = randPolygon(rng, rng.Float64(), rng.Float64())
+		}
+		if rng.Intn(2) == 0 {
+			b = randPolyline(rng, 2+rng.Intn(5))
+		} else {
+			b = randPolygon(rng, rng.Float64(), rng.Float64())
+		}
+		dist := rng.Float64() * 0.2
+		want := bruteWithin(a, b, dist)
+		got, ops := DistanceWithin(a, b, dist)
+		if got != want {
+			t.Fatalf("trial %d: DistanceWithin(%T, %T, %g)=%v, oracle=%v", trial, a, b, dist, got, want)
+		}
+		if ops <= 0 {
+			t.Fatalf("trial %d: non-positive op count %d", trial, ops)
+		}
+	}
+}
+
+// TestDistanceWithinBasics pins hand-checked cases.
+func TestDistanceWithinBasics(t *testing.T) {
+	horiz := Polyline{Points: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}}
+	above := Polyline{Points: []geom.Point{{X: 0, Y: 0.5}, {X: 1, Y: 0.5}}}
+	if ok, _ := DistanceWithin(horiz, above, 0.4); ok {
+		t.Fatal("parallel lines 0.5 apart reported within 0.4")
+	}
+	if ok, _ := DistanceWithin(horiz, above, 0.5); !ok {
+		t.Fatal("parallel lines 0.5 apart not within 0.5")
+	}
+	crossing := Polyline{Points: []geom.Point{{X: 0.5, Y: -1}, {X: 0.5, Y: 1}}}
+	if ok, _ := DistanceWithin(horiz, crossing, 0); !ok {
+		t.Fatal("crossing lines not within 0")
+	}
+	// A small polyline strictly inside a polygon: boundary distance may be
+	// large, containment must still answer within-any-distance.
+	box := RectPolygon(geom.Rect{XL: 0, YL: 0, XU: 10, YU: 10})
+	inner := Polyline{Points: []geom.Point{{X: 5, Y: 5}, {X: 5.1, Y: 5.1}}}
+	if ok, _ := DistanceWithin(box, inner, 0); !ok {
+		t.Fatal("polyline inside polygon not within 0")
+	}
+	if ok, _ := DistanceWithin(inner, box, 0); !ok {
+		t.Fatal("polyline inside polygon not within 0 (reversed)")
+	}
+}
+
+// TestSegDist2 pins the segment-distance primitive.
+func TestSegDist2(t *testing.T) {
+	s := Segment{A: geom.Point{X: 0, Y: 0}, B: geom.Point{X: 1, Y: 0}}
+	cases := []struct {
+		t    Segment
+		want float64
+	}{
+		{Segment{A: geom.Point{X: 0, Y: 1}, B: geom.Point{X: 1, Y: 1}}, 1},
+		{Segment{A: geom.Point{X: 2, Y: 0}, B: geom.Point{X: 3, Y: 0}}, 1},
+		{Segment{A: geom.Point{X: 0.5, Y: -1}, B: geom.Point{X: 0.5, Y: 1}}, 0},
+		{Segment{A: geom.Point{X: 2, Y: 2}, B: geom.Point{X: 2, Y: 2}}, 5}, // degenerate point
+	}
+	for i, c := range cases {
+		if got := segDist2(s, c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("case %d: segDist2 = %g, want %g", i, got, c.want)
+		}
+	}
+}

@@ -7,7 +7,12 @@
 // The package provides polylines (the geometry type of the TIGER street and
 // river data) and simple polygons (the geometry type of the region data),
 // exact intersection predicates between them, and the computation of the
-// intersection points reported by the object-spatial-join.
+// intersection points reported by the object-spatial-join.  The counted
+// variants in counted.go report the refinement work in the cost model's
+// comparison unit, so experiments can price refinement CPU separately from
+// filter I/O.
+//
+//repro:measured
 package refine
 
 import (

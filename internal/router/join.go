@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/join"
 	"repro/internal/server"
 	"repro/internal/zorder"
 )
@@ -18,6 +19,13 @@ type JoinRequest struct {
 	Method int
 	// Workers > 1 runs a parallel join on each shard.
 	Workers int
+	// Predicate is the join condition in join.ParsePredicate's textual form
+	// ("intersects", "within:EPS", "knn:K"); empty runs each shard's
+	// default.  The fan-out is exact for every predicate because R is
+	// sharded disjointly while S is replicated in full: each shard evaluates
+	// its R slice against all of S, so within-distance unions cleanly and
+	// every R item's kNN heap is already globally correct on its home shard.
+	Predicate string
 	// DiscardPairs suppresses materialising pairs; the result then carries
 	// only the per-shard counts.
 	DiscardPairs bool
@@ -56,10 +64,16 @@ type JoinResult struct {
 // truncate the result.  If any shard fails after retries, Join returns a
 // *PartialError naming the failed and succeeded shards — and no pairs.
 func (rt *Router) Join(ctx context.Context, req JoinRequest) (*JoinResult, error) {
+	// Parse the predicate up front so a malformed one fails here, with a
+	// clear error, instead of as N identical shard rejections.
+	pred, err := join.ParsePredicate(req.Predicate)
+	if err != nil {
+		return nil, err
+	}
 	// Plan orders the fan-out longest-first; with goroutine fan-out the
 	// order matters only under client-side connection limits, but it costs
 	// nothing and keeps Plan the single source of routing truth.
-	plans := rt.Plan(ctx, rt.cfg.World)
+	plans := rt.PlanPredicate(ctx, rt.cfg.World, pred)
 
 	type shardJoin struct {
 		resp     server.JoinResponseWire
@@ -70,7 +84,7 @@ func (rt *Router) Join(ctx context.Context, req JoinRequest) (*JoinResult, error
 	results := make(map[string]shardJoin, len(plans))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	wire := server.JoinRequestWire{Method: req.Method, Workers: req.Workers, DiscardPairs: req.DiscardPairs}
+	wire := server.JoinRequestWire{Method: req.Method, Workers: req.Workers, Predicate: req.Predicate, DiscardPairs: req.DiscardPairs}
 	for _, p := range plans {
 		wg.Add(1)
 		go func(sh Shard) {
@@ -117,11 +131,44 @@ func (rt *Router) Join(ctx context.Context, req JoinRequest) (*JoinResult, error
 	if len(perr.Failures) > 0 {
 		return nil, &perr
 	}
+	if pred.Kind == join.PredKNN && !req.DiscardPairs {
+		// The kNN merge is a plain union, and its correctness bound is
+		// R-disjointness: each R item's K-best heap is complete only on its
+		// home shard, so an R identifier answered by two shards means the
+		// deployment double-homed an item and the union would mix two
+		// partial heaps.  Fail loudly instead of merging wrong answers.
+		if err := verifyKNNStreams(streams, rt.shards, pred.K); err != nil {
+			return nil, err
+		}
+	}
 	res := &JoinResult{Count: total, Shards: outcomes}
 	if !req.DiscardPairs {
 		res.Pairs = mergeSorted(streams, total)
 	}
 	return res, nil
+}
+
+// verifyKNNStreams checks the two invariants the kNN union rests on: no R
+// identifier appears in more than one shard's stream, and no R identifier
+// carries more than K neighbours.
+func verifyKNNStreams(streams [][][2]int32, shards []Shard, k int) error {
+	owner := make(map[int32]int)
+	counts := make(map[int32]int)
+	for idx, stream := range streams {
+		for _, p := range stream {
+			if prev, ok := owner[p[0]]; ok && prev != idx {
+				return fmt.Errorf("router: kNN merge: R item %d answered by both %s and %s — R is not disjoint across shards",
+					p[0], shards[prev].Name, shards[idx].Name)
+			}
+			owner[p[0]] = idx
+			counts[p[0]]++
+			if counts[p[0]] > k {
+				return fmt.Errorf("router: kNN merge: R item %d carries %d neighbours, more than k=%d",
+					p[0], counts[p[0]], k)
+			}
+		}
+	}
+	return nil
 }
 
 // verifySorted checks the wire contract behind the merge: each shard's

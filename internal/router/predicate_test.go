@@ -1,0 +1,129 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/server"
+)
+
+// rectDist2 is the oracle's squared rectangle distance (clamp formulation).
+func rectDist2(a, b geom.Rect) float64 {
+	dx := math.Max(0, math.Max(a.XL-b.XU, b.XL-a.XU))
+	dy := math.Max(0, math.Max(a.YL-b.YU, b.YL-a.YU))
+	return dx*dx + dy*dy
+}
+
+func bruteDistanceWire(rOps []server.OpWire, sItems []rtree.Item, eps float64) [][2]int32 {
+	var out [][2]int32
+	for _, op := range rOps {
+		rr := op.Rect()
+		for _, s := range sItems {
+			if rectDist2(rr, s.Rect) <= eps*eps {
+				out = append(out, [2]int32{op.Data, s.Data})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return pairLess(out[i], out[j]) })
+	return out
+}
+
+func bruteKNNWire(rOps []server.OpWire, sItems []rtree.Item, k int) [][2]int32 {
+	var out [][2]int32
+	type cand struct {
+		d2  float64
+		sID int32
+	}
+	for _, op := range rOps {
+		rr := op.Rect()
+		cands := make([]cand, 0, len(sItems))
+		for _, s := range sItems {
+			cands = append(cands, cand{d2: rectDist2(rr, s.Rect), sID: s.Data})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d2 != cands[j].d2 {
+				return cands[i].d2 < cands[j].d2
+			}
+			return cands[i].sID < cands[j].sID
+		})
+		n := k
+		if n > len(cands) {
+			n = len(cands)
+		}
+		for _, c := range cands[:n] {
+			out = append(out, [2]int32{op.Data, c.sID})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return pairLess(out[i], out[j]) })
+	return out
+}
+
+// TestRouterPredicateParity is the sharded parity contract for the new
+// predicates: for 1, 2, 3 and 4 shards, the merged within-distance and kNN
+// fan-outs equal their brute-force oracles bit for bit — same pairs, same
+// (R, S) order.  The kNN case exercises the R-disjointness merge bound on
+// real deployments: R items are homed by centre key, S is replicated, so
+// each home shard's per-item heap is already globally correct.
+func TestRouterPredicateParity(t *testing.T) {
+	rOps := genROps(300, 9)
+	sItems := genSItems(200, 5)
+	const eps, k = 0.03, 3
+	wantDist := bruteDistanceWire(rOps, sItems, eps)
+	wantKNN := bruteKNNWire(rOps, sItems, k)
+	if len(wantDist) == 0 || len(wantKNN) != len(rOps)*k {
+		t.Fatalf("oracle sanity: %d distance pairs, %d knn pairs", len(wantDist), len(wantKNN))
+	}
+	ctx := context.Background()
+	for _, n := range []int{1, 2, 3, 4} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			rt, _ := newDeployment(t, n, nil)
+			loadDeployment(t, rt, rOps)
+			for _, workers := range []int{0, 3} {
+				res, err := rt.Join(ctx, JoinRequest{Predicate: fmt.Sprintf("within:%g", eps), Workers: workers})
+				if err != nil {
+					t.Fatalf("within workers=%d: %v", workers, err)
+				}
+				assertPairsEqual(t, fmt.Sprintf("within workers=%d", workers), res.Pairs, wantDist)
+				res, err = rt.Join(ctx, JoinRequest{Predicate: fmt.Sprintf("knn:%d", k), Workers: workers})
+				if err != nil {
+					t.Fatalf("knn workers=%d: %v", workers, err)
+				}
+				assertPairsEqual(t, fmt.Sprintf("knn workers=%d", workers), res.Pairs, wantKNN)
+			}
+		})
+	}
+}
+
+// TestRouterRejectsBadPredicate pins that a malformed predicate fails at the
+// router, before any shard is contacted.
+func TestRouterRejectsBadPredicate(t *testing.T) {
+	rt, _ := newDeployment(t, 2, nil)
+	if _, err := rt.Join(context.Background(), JoinRequest{Predicate: "within:-1"}); err == nil {
+		t.Fatal("expected a parse error")
+	}
+	if _, err := rt.Join(context.Background(), JoinRequest{Predicate: "nearest:3"}); err == nil {
+		t.Fatal("expected a parse error for an unknown predicate name")
+	}
+}
+
+// TestVerifyKNNStreams pins the merge bound's failure modes directly.
+func TestVerifyKNNStreams(t *testing.T) {
+	shards := []Shard{{Name: "a"}, {Name: "b"}}
+	ok := [][][2]int32{{{1, 10}, {1, 11}}, {{2, 10}}}
+	if err := verifyKNNStreams(ok, shards, 2); err != nil {
+		t.Fatalf("disjoint streams rejected: %v", err)
+	}
+	dup := [][][2]int32{{{1, 10}}, {{1, 11}}}
+	if err := verifyKNNStreams(dup, shards, 2); err == nil {
+		t.Fatal("double-homed R item not detected")
+	}
+	over := [][][2]int32{{{1, 10}, {1, 11}, {1, 12}}, nil}
+	if err := verifyKNNStreams(over, shards, 2); err == nil {
+		t.Fatal("over-k item not detected")
+	}
+}

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/geom"
+	"repro/internal/join"
 	"repro/internal/server"
 	"repro/internal/zorder"
 )
@@ -210,13 +211,28 @@ type PlannedShard struct {
 // summaries order the plan but cannot shrink it, because the next round
 // may move any shard's MBR.
 func (rt *Router) Plan(ctx context.Context, window geom.Rect) []PlannedShard {
+	return rt.PlanPredicate(ctx, window, join.Intersects())
+}
+
+// PlanPredicate is Plan with a join predicate.  The predicate changes what
+// "can intersect the window" means, so it changes the exactness bound of the
+// key-range pruning: within-distance grows the pruning margin by epsilon (an
+// R rectangle up to epsilon outside the window still pairs with S inside
+// it), and kNN disables pruning entirely — a nearest neighbour can be
+// arbitrarily far away, so no geometric argument can exclude a shard.
+func (rt *Router) PlanPredicate(ctx context.Context, window geom.Rect, pred join.Predicate) []PlannedShard {
 	shards := rt.shards
-	if rt.cfg.MaxItemExtent > 0 && !window.Contains(rt.cfg.World) {
+	margin := rt.cfg.MaxItemExtent
+	if pred.Kind == join.PredWithinDist {
+		margin += pred.Epsilon
+	}
+	prune := rt.cfg.MaxItemExtent > 0 && pred.Kind != join.PredKNN
+	if prune && !window.Contains(rt.cfg.World) {
 		grown := geom.Rect{
-			XL: window.XL - rt.cfg.MaxItemExtent,
-			YL: window.YL - rt.cfg.MaxItemExtent,
-			XU: window.XU + rt.cfg.MaxItemExtent,
-			YU: window.YU + rt.cfg.MaxItemExtent,
+			XL: window.XL - margin,
+			YL: window.YL - margin,
+			XU: window.XU + margin,
+			YU: window.YU + margin,
 		}
 		cover := zorder.HilbertCover(grown, rt.cfg.World, rt.cfg.CoverDepth)
 		var kept []Shard
@@ -238,7 +254,7 @@ func (rt *Router) Plan(ctx context.Context, window geom.Rect) []PlannedShard {
 		if wire, fresh, ok := rt.shardStats(ctx, sh); ok {
 			plans[i].Coverage = wire.Coverage
 			plans[i].StatsFresh = fresh
-			plans[i].Est = estimateJoinCost(wire.Coverage)
+			plans[i].Est = estimateJoinCost(wire.Coverage, pred)
 		}
 	}
 	sort.SliceStable(plans, func(i, j int) bool {
@@ -275,8 +291,11 @@ func (rt *Router) shardStats(ctx context.Context, sh Shard) (wire server.StatsWi
 // summary: expected I/O is both trees' page populations, expected CPU is
 // the plane-sweep selectivity estimate (sort plus x-overlapping pairs from
 // the sampled mean rectangle extents), falling back to the all-pairs
-// product when a catalog carries no leaf sample.
-func estimateJoinCost(cov server.Coverage) costmodel.Estimate {
+// product when a catalog carries no leaf sample.  The predicate adjusts the
+// CPU term the same way the executed join changes: within-distance widens
+// every R extent by 2·epsilon (the expanded-rectangle filter), kNN charges
+// one near-logarithmic S probe plus K heap admissions per R item.
+func estimateJoinCost(cov server.Coverage, pred join.Predicate) costmodel.Estimate {
 	if cov.PageSize == 0 {
 		return costmodel.Estimate{}
 	}
@@ -285,13 +304,21 @@ func estimateJoinCost(cov server.Coverage) costmodel.Estimate {
 		pages = 2
 	}
 	er, es := float64(cov.RItems), float64(cov.SItems)
+	if pred.Kind == join.PredKNN {
+		comps := er*(math.Log2(es+2)+float64(pred.K)) + er + es
+		return costmodel.Default().Estimate(int64(pages+0.5), cov.PageSize, int64(comps+0.5))
+	}
+	var eps float64
+	if pred.Kind == join.PredWithinDist {
+		eps = pred.Epsilon
+	}
 	comps := er * es
 	wr, _, okR := cov.RCatalog.LeafExtent()
 	ws, _, okS := cov.SCatalog.LeafExtent()
 	if okR && okS {
 		overlap := 1.0
-		if ix := cov.RMBR.Width(); ix > 0 && (wr+ws) < ix {
-			overlap = (wr + ws) / ix
+		if ix := cov.RMBR.Width(); ix > 0 && (wr+2*eps+ws) < ix {
+			overlap = (wr + 2*eps + ws) / ix
 		}
 		comps = (er+es)*math.Log2(er+es+2) + er*es*overlap
 	}

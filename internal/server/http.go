@@ -42,6 +42,10 @@ type JoinRequestWire struct {
 	Method int `json:"method,omitempty"`
 	// Workers > 1 runs a parallel join with that many workers.
 	Workers int `json:"workers,omitempty"`
+	// Predicate selects the join condition in join.ParsePredicate's textual
+	// form: "intersects" (the default — old request bodies that omit the
+	// field keep their behaviour), "within:EPS" or "knn:K".
+	Predicate string `json:"predicate,omitempty"`
 	// DiscardPairs suppresses materialising the pairs in the response.
 	DiscardPairs bool `json:"discard_pairs,omitempty"`
 }
@@ -134,9 +138,15 @@ func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
 				return
 			}
 		}
+		pred, err := join.ParsePredicate(req.Predicate)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
 		resp, err := srv.Join(r.Context(), JoinRequest{
 			Method:       join.Method(req.Method),
 			Workers:      req.Workers,
+			Predicate:    pred,
 			DiscardPairs: req.DiscardPairs,
 		})
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -119,6 +120,10 @@ type JoinRequest struct {
 	Strategy join.PartitionStrategy
 	// BufferBytes overrides the configured LRU budget when non-zero.
 	BufferBytes int
+	// Predicate selects the join condition; the zero value runs the
+	// configured default (normally intersection), keeping old callers and
+	// old wire requests bit-compatible.
+	Predicate join.Predicate
 	// DiscardPairs suppresses materialising the pairs.
 	DiscardPairs bool
 	// OnPair, if non-nil, observes the pair stream.
@@ -303,10 +308,18 @@ func (s *Server) Join(ctx context.Context, req JoinRequest) (*JoinResponse, erro
 		ctx = context.Background()
 	}
 
+	pred := req.Predicate
+	if pred == (join.Predicate{}) {
+		pred = s.cfg.JoinDefaults.Predicate
+	}
+	if err := pred.Validate(); err != nil {
+		return nil, err
+	}
+
 	e := s.pin()
 	defer s.unpin(e)
 
-	est := s.estimate(e)
+	est := s.estimate(e, pred)
 	if err := s.admit(est); err != nil {
 		return nil, err
 	}
@@ -333,6 +346,7 @@ func (s *Server) Join(ctx context.Context, req JoinRequest) (*JoinResponse, erro
 	if req.BufferBytes != 0 {
 		opts.BufferBytes = req.BufferBytes
 	}
+	opts.Predicate = pred
 
 	var retries int
 	for attempt := 0; ; attempt++ {
@@ -413,11 +427,30 @@ func (s *Server) admit(est costmodel.Estimate) error {
 // estimate prices one join from the catalogs alone (no page touched): every
 // page of both trees read once plus one comparison per data entry per
 // thousand of the other side — a deliberately crude planner estimate whose
-// job is relative ordering under load, not accuracy.
-func (s *Server) estimate(e *epoch) costmodel.Estimate {
+// job is relative ordering under load, not accuracy.  The predicate scales
+// the comparison term: within-distance inflates it by the area growth of the
+// epsilon-expanded R MBR (the filter runs over expanded rectangles, so its
+// selectivity grows exactly that way), and kNN replaces the product with one
+// near-logarithmic probe of S plus K heap admissions per R item.
+func (s *Server) estimate(e *epoch, pred join.Predicate) costmodel.Estimate {
 	pages := treePages(e.tree) + treePages(s.cfg.S)
 	nR, nS := float64(e.tree.Len()), float64(s.cfg.S.Len())
-	comparisons := int64(nR*nS/1000) + int64(nR+nS)
+	var comparisons int64
+	switch pred.Kind {
+	case join.PredKNN:
+		comparisons = int64(nR*(math.Log2(nS+2)+float64(pred.K))) + int64(nR+nS)
+	case join.PredWithinDist:
+		inflate := 1.0
+		if e.tree.Len() > 0 {
+			m := e.tree.Root().MBR()
+			if a := m.Area(); a > 0 {
+				inflate = geom.ExpandRect(m, pred.Epsilon).Area() / a
+			}
+		}
+		comparisons = int64(nR*nS/1000*inflate) + int64(nR+nS)
+	default:
+		comparisons = int64(nR*nS/1000) + int64(nR+nS)
+	}
 	return s.model.Estimate(int64(pages), e.tree.PageSize(), comparisons)
 }
 

@@ -209,6 +209,28 @@ const (
 	SweepOrder     = join.PolicySweepOrder
 )
 
+// Join predicates: the condition a result pair must satisfy.  The zero
+// Predicate is MBR intersection (the paper's join); within-distance and kNN
+// are the distance-based extensions of ROADMAP item 4, supported by every
+// sequential method, every parallel partition strategy, the server wire
+// protocol and the shard router.
+type JoinPredicate = join.Predicate
+
+// IntersectsPredicate is the default MBR-intersection predicate.
+func IntersectsPredicate() JoinPredicate { return join.Intersects() }
+
+// WithinDistancePredicate keeps pairs whose MBRs come within eps of each
+// other (Chebyshev-expanded filter, exact counted Euclidean test).
+func WithinDistancePredicate(eps float64) JoinPredicate { return join.WithinDistance(eps) }
+
+// NearestNeighborsPredicate reports, for every R rectangle, its k nearest S
+// rectangles by MBR distance (ties broken by S identifier).
+func NearestNeighborsPredicate(k int) JoinPredicate { return join.NearestNeighbors(k) }
+
+// ParseJoinPredicate parses the textual predicate forms used on the command
+// lines and the wire: "intersects" (or empty), "within:EPS", "knn:K".
+func ParseJoinPredicate(s string) (JoinPredicate, error) { return join.ParsePredicate(s) }
+
 // TreeJoin computes the MBR-spatial-join of two R-trees.
 func TreeJoin(r, s *RTree, opts JoinOptions) (*JoinResult, error) { return join.Join(r, s, opts) }
 
